@@ -1,0 +1,193 @@
+//! Structural control dependence.
+//!
+//! Section 4 of the paper privatizes the execution of control-flow
+//! statements: an `IF`/`GOTO` whose transfers stay inside loop `L` need not
+//! force all processors to evaluate its predicate — only the union of
+//! processors executing statements *control-dependent* on it. On the
+//! structured tree this set is:
+//!
+//! * for an `IF`: every statement in its branches, plus (for `GOTO`s inside
+//!   the branches that jump forward within `L`) the statements they skip;
+//! * for a bare `GOTO`: the statements between it and its target within the
+//!   enclosing blocks (conservatively, the rest of the enclosing loop
+//!   body when the target cannot be localized).
+
+use hpf_ir::{Program, Stmt, StmtId};
+
+/// The controlling `IF` ancestors of a statement, innermost first.
+pub fn controllers(p: &Program, s: StmtId) -> Vec<StmtId> {
+    let mut out = Vec::new();
+    let mut cur = p.parent(s);
+    while let Some(c) = cur {
+        if matches!(p.stmt(c), Stmt::If { .. }) {
+            out.push(c);
+        }
+        cur = p.parent(c);
+    }
+    out
+}
+
+/// Statements control-dependent on control statement `s` (conservative
+/// superset on the structured tree).
+pub fn dependents(p: &Program, s: StmtId) -> Vec<StmtId> {
+    match p.stmt(s) {
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            let mut out = Vec::new();
+            for b in [then_body, else_body] {
+                for &c in b {
+                    collect_subtree(p, c, &mut out);
+                }
+            }
+            // GOTOs under this IF extend control dependence to skipped
+            // statements.
+            for g in out.clone() {
+                if matches!(p.stmt(g), Stmt::Goto(_)) {
+                    for extra in goto_skipped(p, g) {
+                        if !out.contains(&extra) {
+                            out.push(extra);
+                        }
+                    }
+                }
+            }
+            out
+        }
+        Stmt::Goto(_) => goto_skipped(p, s),
+        _ => Vec::new(),
+    }
+}
+
+fn collect_subtree(p: &Program, s: StmtId, out: &mut Vec<StmtId>) {
+    if !out.contains(&s) {
+        out.push(s);
+    }
+    for b in p.stmt(s).blocks() {
+        for &c in b {
+            collect_subtree(p, c, out);
+        }
+    }
+}
+
+/// Statements a `GOTO` may skip: for a forward jump to a label in an
+/// enclosing block, the statements strictly between the goto's position
+/// (at that block level) and the target; otherwise (backward jumps), the
+/// whole enclosing loop body, conservatively.
+fn goto_skipped(p: &Program, g: StmtId) -> Vec<StmtId> {
+    let Some(target) = p.goto_target(g) else {
+        return Vec::new();
+    };
+    // Walk up from the goto until we find the block that contains the
+    // target.
+    let mut hop = g;
+    loop {
+        let (block, pos) = p.containing_block(hop);
+        if let Some(tpos) = block.iter().position(|&x| x == target) {
+            let mut out = Vec::new();
+            if tpos > pos {
+                for &mid in &block[pos + 1..tpos] {
+                    collect_subtree(p, mid, &mut out);
+                }
+            } else {
+                // Backward jump: conservatively everything in this block.
+                for &mid in block {
+                    collect_subtree(p, mid, &mut out);
+                }
+            }
+            return out;
+        }
+        match p.parent(hop) {
+            Some(par) => hop = par,
+            None => return Vec::new(),
+        }
+    }
+}
+
+/// Is statement `t` (transitively) control-dependent on `s`?
+pub fn is_dependent(p: &Program, s: StmtId, t: StmtId) -> bool {
+    dependents(p, s).contains(&t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::{BinOp, Expr, ProgramBuilder};
+
+    #[test]
+    fn if_branches_are_dependent() {
+        let mut b = ProgramBuilder::new();
+        let x = b.real_scalar("x");
+        let c = b.bool_scalar("c");
+        let mut t = None;
+        let mut e = None;
+        let iff = b.if_then_else(
+            Expr::scalar(c),
+            |b| {
+                t = Some(b.assign_scalar(x, Expr::real(1.0)));
+            },
+            |b| {
+                e = Some(b.assign_scalar(x, Expr::real(2.0)));
+            },
+        );
+        let after = b.assign_scalar(x, Expr::real(3.0));
+        let p = b.finish();
+        let deps = dependents(&p, iff);
+        assert!(deps.contains(&t.unwrap()));
+        assert!(deps.contains(&e.unwrap()));
+        assert!(!deps.contains(&after));
+        assert_eq!(controllers(&p, t.unwrap()), vec![iff]);
+        assert!(controllers(&p, after).is_empty());
+    }
+
+    #[test]
+    fn forward_goto_skips_statements() {
+        // Figure 7 shape: if (cond) goto 100; S1; S2; 100 continue
+        let mut b = ProgramBuilder::new();
+        let i = b.int_scalar("i");
+        let a = b.real_array("A", &[8]);
+        let mut s1 = None;
+        let mut s2 = None;
+        let mut goto_id = None;
+        b.do_loop(i, Expr::int(1), Expr::int(8), |b| {
+            b.if_then(
+                Expr::array(a, vec![Expr::scalar(i)]).cmp(BinOp::Lt, Expr::real(0.0)),
+                |b| {
+                    goto_id = Some(b.goto(100));
+                },
+            );
+            s1 = Some(b.assign_array(a, vec![Expr::scalar(i)], Expr::real(1.0)));
+            s2 = Some(b.assign_array(a, vec![Expr::scalar(i)], Expr::real(2.0)));
+            b.continue_label(100);
+        });
+        let p = b.finish();
+        let deps = dependents(&p, goto_id.unwrap());
+        assert!(deps.contains(&s1.unwrap()));
+        assert!(deps.contains(&s2.unwrap()));
+        // The IF's dependents include the skipped statements via the GOTO.
+        let iff = p.parent(goto_id.unwrap()).unwrap();
+        let ifdeps = dependents(&p, iff);
+        assert!(ifdeps.contains(&s1.unwrap()));
+    }
+
+    #[test]
+    fn nested_if_controllers() {
+        let mut b = ProgramBuilder::new();
+        let x = b.real_scalar("x");
+        let c = b.bool_scalar("c");
+        let mut inner_stmt = None;
+        let mut inner_if = None;
+        let outer_if = b.if_then(Expr::scalar(c), |b| {
+            inner_if = Some(b.if_then(Expr::scalar(c), |b| {
+                inner_stmt = Some(b.assign_scalar(x, Expr::real(1.0)));
+            }));
+        });
+        let p = b.finish();
+        assert_eq!(
+            controllers(&p, inner_stmt.unwrap()),
+            vec![inner_if.unwrap(), outer_if]
+        );
+        assert!(is_dependent(&p, outer_if, inner_stmt.unwrap()));
+    }
+}

@@ -1,0 +1,155 @@
+//! Dominator tree over the CFG (iterative Cooper–Harvey–Kennedy algorithm).
+//!
+//! Used by the SSA construction and by sanity checks ("a definition
+//! dominates its same-iteration uses").
+
+use crate::cfg::{Cfg, NodeId};
+
+/// Immediate-dominator table.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: Vec<Option<NodeId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let rpo = cfg.rpo();
+        let mut rpo_index = vec![usize::MAX; cfg.len()];
+        for (i, &n) in rpo.iter().enumerate() {
+            rpo_index[n.index()] = i;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; cfg.len()];
+        idom[cfg.entry.index()] = Some(cfg.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                let preds = &cfg.nodes[n.index()].preds;
+                // First processed predecessor.
+                let mut new_idom: Option<NodeId> = None;
+                for &p in preds {
+                    if idom[p.index()].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[n.index()] != Some(ni) {
+                        idom[n.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    fn intersect(
+        idom: &[Option<NodeId>],
+        rpo_index: &[usize],
+        mut a: NodeId,
+        mut b: NodeId,
+    ) -> NodeId {
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].unwrap();
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].unwrap();
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `n` (`None` for entry and unreachable nodes).
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        let d = self.idom[n.index()]?;
+        if d == n {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Does `a` dominate `b`?
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        self.idom[n.index()].is_some()
+    }
+
+    #[allow(dead_code)]
+    fn rpo_of(&self, n: NodeId) -> usize {
+        self.rpo_index[n.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::{Expr, ProgramBuilder};
+
+    #[test]
+    fn diamond_dominance() {
+        let mut b = ProgramBuilder::new();
+        let c = b.bool_scalar("c");
+        let x = b.real_scalar("x");
+        let mut t = None;
+        let mut e = None;
+        let iff = b.if_then_else(
+            Expr::scalar(c),
+            |b| {
+                t = Some(b.assign_scalar(x, Expr::real(1.0)));
+            },
+            |b| {
+                e = Some(b.assign_scalar(x, Expr::real(2.0)));
+            },
+        );
+        let join = b.assign_scalar(x, Expr::real(3.0));
+        let p = b.finish();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let ni = cfg.node_of(iff);
+        let nt = cfg.node_of(t.unwrap());
+        let ne = cfg.node_of(e.unwrap());
+        let nj = cfg.node_of(join);
+        assert!(dom.dominates(ni, nt));
+        assert!(dom.dominates(ni, ne));
+        assert!(dom.dominates(ni, nj));
+        assert!(!dom.dominates(nt, nj));
+        assert_eq!(dom.idom(nj), Some(ni));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut b = ProgramBuilder::new();
+        let i = b.int_scalar("i");
+        let x = b.real_scalar("x");
+        let mut body = None;
+        let lp = b.do_loop(i, Expr::int(1), Expr::int(4), |b| {
+            body = Some(b.assign_scalar(x, Expr::real(0.0)));
+        });
+        let after = b.assign_scalar(x, Expr::real(1.0));
+        let p = b.finish();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        assert!(dom.dominates(cfg.node_of(lp), cfg.node_of(body.unwrap())));
+        assert!(dom.dominates(cfg.node_of(lp), cfg.node_of(after)));
+        assert!(!dom.dominates(cfg.node_of(body.unwrap()), cfg.node_of(after)));
+        assert!(dom.is_reachable(cfg.node_of(after)));
+    }
+}

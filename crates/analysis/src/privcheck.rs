@@ -1,0 +1,360 @@
+//! Privatizability analysis.
+//!
+//! A scalar definition inside loop `L` is privatizable w.r.t. `L` when no
+//! value flows across iterations of `L` through the variable: every use
+//! reached by the definition lies inside `L` and is reached exclusively by
+//! same-iteration definitions (checked by re-solving reaching definitions
+//! with `L`'s back edges cut). If the variable is additionally not live on
+//! any path leaving `L`, it is privatizable *without copy-out* — the form
+//! the paper's mapping algorithm requires (Sec. 2.2), with the reduction
+//! handling of Sec. 2.3 using the weaker "w.r.t. the loop immediately
+//! surrounding the reduction loop" variant.
+//!
+//! Arrays are handled as in phpf: privatizability w.r.t. a loop is taken
+//! from the `NEW` clause of an `INDEPENDENT` directive, or inferred from a
+//! "no value-based loop-carried dependences" assertion combined with
+//! memory-carried writes (Sec. 3.1).
+
+use crate::cfg::Cfg;
+use crate::depend;
+use crate::dom::Dominators;
+use crate::induction::InductionAnalysis;
+use crate::liveness::Liveness;
+use crate::reach::ReachingDefs;
+use hpf_ir::{Program, StmtId, VarId};
+use std::collections::HashMap;
+
+/// Verdict for one (definition, loop) query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Privatizable {
+    /// Cross-iteration flow: cannot privatize.
+    No,
+    /// Privatizable; `copy_out` says whether the last iteration's value is
+    /// live after the loop and would need copying out.
+    Yes { copy_out: bool },
+}
+
+impl Privatizable {
+    pub fn without_copy_out(self) -> bool {
+        matches!(self, Privatizable::Yes { copy_out: false })
+    }
+
+    pub fn is_privatizable(self) -> bool {
+        matches!(self, Privatizable::Yes { .. })
+    }
+}
+
+/// Privatizability oracle with per-loop cut-reaching-defs caching.
+pub struct PrivCheck<'p> {
+    p: &'p Program,
+    cfg: &'p Cfg,
+    rd: &'p ReachingDefs,
+    live: &'p Liveness,
+    cut_cache: HashMap<StmtId, ReachingDefs>,
+}
+
+impl<'p> PrivCheck<'p> {
+    pub fn new(
+        p: &'p Program,
+        cfg: &'p Cfg,
+        rd: &'p ReachingDefs,
+        live: &'p Liveness,
+    ) -> Self {
+        PrivCheck {
+            p,
+            cfg,
+            rd,
+            live,
+            cut_cache: HashMap::new(),
+        }
+    }
+
+    fn cut_rd(&mut self, l: StmtId) -> &ReachingDefs {
+        let (p, cfg) = (self.p, self.cfg);
+        self.cut_cache
+            .entry(l)
+            .or_insert_with(|| ReachingDefs::compute_with_cut(p, cfg, cfg.back_edges_of(l)))
+    }
+
+    /// Is the scalar definition at `def` privatizable w.r.t. loop `l`?
+    ///
+    /// `def` must lie inside `l`. The `NEW` clause of an `INDEPENDENT`
+    /// directive on `l` asserts privatizability directly (including
+    /// copy-out-freedom — HPF semantics: NEW objects are undefined after
+    /// the loop).
+    pub fn scalar_privatizable(&mut self, l: StmtId, def: StmtId) -> Privatizable {
+        debug_assert!(self.p.stmt(l).is_loop());
+        let Some(var) = self.rd.def_var(def) else {
+            return Privatizable::No;
+        };
+        if !self.p.is_self_or_ancestor(l, def) || def == l {
+            return Privatizable::No;
+        }
+        if self.p.directives.is_new_var(l, var) {
+            return Privatizable::Yes { copy_out: false };
+        }
+
+        // Every use inside `l` that reads `var` must be reached only by
+        // defs inside `l`, and the reaching sets must be identical with the
+        // back edges of `l` cut (no cross-iteration flow).
+        let uses: Vec<StmtId> = self
+            .p
+            .preorder()
+            .into_iter()
+            .filter(|&s| self.p.is_self_or_ancestor(l, s) && self.rd.stmt_reads(s, var))
+            .collect();
+        // Gather full-graph reaching sets first (immutable borrow of self.rd).
+        let full: Vec<(StmtId, Vec<StmtId>)> = uses
+            .iter()
+            .map(|&u| (u, self.rd.reaching_defs(self.cfg, u, var)))
+            .collect();
+        let cfg = self.cfg;
+        let p = self.p;
+        let cut = self.cut_rd(l);
+        for (u, full_defs) in full {
+            for d in &full_defs {
+                if !p.is_self_or_ancestor(l, *d) || *d == l {
+                    // An outside value (or the loop's own index def) flows in.
+                    // Loop-index defs are fine only when var is the index —
+                    // conservatively reject.
+                    return Privatizable::No;
+                }
+            }
+            let mut cut_defs = cut.reaching_defs(cfg, u, var);
+            let mut full_sorted = full_defs;
+            cut_defs.sort();
+            full_sorted.sort();
+            if cut_defs != full_sorted {
+                // Some def only reaches around the back edge: cross-iteration
+                // value flow.
+                return Privatizable::No;
+            }
+        }
+
+        let copy_out = self.live.live_after_loop(self.p, self.cfg, l, var);
+        Privatizable::Yes { copy_out }
+    }
+
+    /// Array privatizability w.r.t. loop `l`: from the `NEW` clause, or
+    /// inferred from `no_value_deps` + memory-carried writes.
+    pub fn array_privatizable(
+        &mut self,
+        dom: &Dominators,
+        ia: &InductionAnalysis,
+        l: StmtId,
+        array: VarId,
+    ) -> bool {
+        if self.p.directives.is_new_var(l, array) {
+            return true;
+        }
+        if let Some(info) = self.p.directives.independent_of(l) {
+            if info.no_value_deps {
+                return depend::arrays_with_memory_carried_writes(self.p, self.cfg, dom, ia, l)
+                    .contains(&array);
+            }
+        }
+        false
+    }
+
+    /// All arrays privatizable w.r.t. loop `l`.
+    pub fn privatizable_arrays(
+        &mut self,
+        dom: &Dominators,
+        ia: &InductionAnalysis,
+        l: StmtId,
+    ) -> Vec<VarId> {
+        let mut out: Vec<VarId> = Vec::new();
+        if let Some(info) = self.p.directives.independent_of(l) {
+            for &v in &info.new_vars {
+                if self.p.vars.info(v).is_array() && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            if info.no_value_deps {
+                for v in
+                    depend::arrays_with_memory_carried_writes(self.p, self.cfg, dom, ia, l)
+                {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constprop::ConstProp;
+    use hpf_ir::{Expr, ProgramBuilder};
+
+    struct Ctx {
+        p: Program,
+        cfg: Cfg,
+        rd: ReachingDefs,
+        live: Liveness,
+    }
+
+    fn ctx(p: Program) -> Ctx {
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::compute(&p, &cfg);
+        let live = Liveness::compute(&p, &cfg);
+        Ctx { p, cfg, rd, live }
+    }
+
+    #[test]
+    fn def_before_use_privatizable() {
+        // do i { x = B(i) + C(i); D(i) = x } — x privatizable, no copy-out.
+        let mut b = ProgramBuilder::new();
+        let bb = b.real_array("B", &[8]);
+        let cc = b.real_array("C", &[8]);
+        let dd = b.real_array("D", &[8]);
+        let i = b.int_scalar("i");
+        let x = b.real_scalar("x");
+        let mut dx = None;
+        let lp = b.do_loop(i, Expr::int(1), Expr::int(8), |b| {
+            dx = Some(b.assign_scalar(
+                x,
+                Expr::array(bb, vec![Expr::scalar(i)]).add(Expr::array(cc, vec![Expr::scalar(i)])),
+            ));
+            b.assign_array(dd, vec![Expr::scalar(i)], Expr::scalar(x));
+        });
+        let c = ctx(b.finish());
+        let mut pc = PrivCheck::new(&c.p, &c.cfg, &c.rd, &c.live);
+        assert_eq!(
+            pc.scalar_privatizable(lp, dx.unwrap()),
+            Privatizable::Yes { copy_out: false }
+        );
+    }
+
+    #[test]
+    fn cross_iteration_flow_rejected() {
+        // do i { D(i) = x; x = B(i) } — x read before written: the value
+        // flows from the previous iteration.
+        let mut b = ProgramBuilder::new();
+        let bb = b.real_array("B", &[8]);
+        let dd = b.real_array("D", &[8]);
+        let i = b.int_scalar("i");
+        let x = b.real_scalar("x");
+        b.assign_scalar(x, Expr::real(0.0));
+        let mut dx = None;
+        let lp = b.do_loop(i, Expr::int(1), Expr::int(8), |b| {
+            b.assign_array(dd, vec![Expr::scalar(i)], Expr::scalar(x));
+            dx = Some(b.assign_scalar(x, Expr::array(bb, vec![Expr::scalar(i)])));
+        });
+        let c = ctx(b.finish());
+        let mut pc = PrivCheck::new(&c.p, &c.cfg, &c.rd, &c.live);
+        assert_eq!(pc.scalar_privatizable(lp, dx.unwrap()), Privatizable::No);
+    }
+
+    #[test]
+    fn live_after_loop_needs_copy_out() {
+        // do i { x = B(i) ; D(i) = x } ; y = x
+        let mut b = ProgramBuilder::new();
+        let bb = b.real_array("B", &[8]);
+        let dd = b.real_array("D", &[8]);
+        let i = b.int_scalar("i");
+        let x = b.real_scalar("x");
+        let y = b.real_scalar("y");
+        let mut dx = None;
+        let lp = b.do_loop(i, Expr::int(1), Expr::int(8), |b| {
+            dx = Some(b.assign_scalar(x, Expr::array(bb, vec![Expr::scalar(i)])));
+            b.assign_array(dd, vec![Expr::scalar(i)], Expr::scalar(x));
+        });
+        b.assign_scalar(y, Expr::scalar(x));
+        let c = ctx(b.finish());
+        let mut pc = PrivCheck::new(&c.p, &c.cfg, &c.rd, &c.live);
+        assert_eq!(
+            pc.scalar_privatizable(lp, dx.unwrap()),
+            Privatizable::Yes { copy_out: true }
+        );
+    }
+
+    #[test]
+    fn reduction_accumulator_not_privatizable() {
+        // do j { s = s + A(j) } — s flows across iterations.
+        let mut b = ProgramBuilder::new();
+        let a = b.real_array("A", &[8]);
+        let j = b.int_scalar("j");
+        let s = b.real_scalar("s");
+        b.assign_scalar(s, Expr::real(0.0));
+        let mut ds = None;
+        let lp = b.do_loop(j, Expr::int(1), Expr::int(8), |b| {
+            ds = Some(b.assign_scalar(
+                s,
+                Expr::scalar(s).add(Expr::array(a, vec![Expr::scalar(j)])),
+            ));
+        });
+        let c = ctx(b.finish());
+        let mut pc = PrivCheck::new(&c.p, &c.cfg, &c.rd, &c.live);
+        assert_eq!(pc.scalar_privatizable(lp, ds.unwrap()), Privatizable::No);
+    }
+
+    #[test]
+    fn new_clause_overrides() {
+        // Same cross-iteration shape, but NEW(x) asserts privatizability.
+        let mut b = ProgramBuilder::new();
+        let bb = b.real_array("B", &[8]);
+        let dd = b.real_array("D", &[8]);
+        let i = b.int_scalar("i");
+        let x = b.real_scalar("x");
+        b.assign_scalar(x, Expr::real(0.0));
+        let mut dx = None;
+        let lp = b.do_loop(i, Expr::int(1), Expr::int(8), |b| {
+            b.assign_array(dd, vec![Expr::scalar(i)], Expr::scalar(x));
+            dx = Some(b.assign_scalar(x, Expr::array(bb, vec![Expr::scalar(i)])));
+        });
+        b.independent(lp, vec![x]);
+        let c = ctx(b.finish());
+        let mut pc = PrivCheck::new(&c.p, &c.cfg, &c.rd, &c.live);
+        assert!(pc.scalar_privatizable(lp, dx.unwrap()).without_copy_out());
+    }
+
+    #[test]
+    fn array_privatizability_from_new_and_inference() {
+        // APPSP-like: privatizable work array via NEW and via NO_VALUE_DEPS.
+        let build = |use_new: bool| {
+            let mut b = ProgramBuilder::new();
+            let cw = b.real_array("C", &[8, 8]);
+            let r = b.real_array("R", &[8, 8]);
+            let k = b.int_scalar("k");
+            let i = b.int_scalar("i");
+            let lp = b.do_loop(k, Expr::int(1), Expr::int(8), |b| {
+                b.do_loop(i, Expr::int(1), Expr::int(8), |b| {
+                    b.assign_array(cw, vec![Expr::scalar(i), Expr::int(1)], Expr::real(0.0));
+                });
+                b.do_loop(i, Expr::int(1), Expr::int(8), |b| {
+                    b.assign_array(
+                        r,
+                        vec![Expr::scalar(i), Expr::scalar(k)],
+                        Expr::array(cw, vec![Expr::scalar(i), Expr::int(1)]),
+                    );
+                });
+            });
+            if use_new {
+                b.independent(lp, vec![cw]);
+            } else {
+                b.no_value_deps(lp);
+            }
+            (b.finish(), lp, cw)
+        };
+        for use_new in [true, false] {
+            let (p, lp, cw) = build(use_new);
+            let cfg = Cfg::build(&p);
+            let rd = ReachingDefs::compute(&p, &cfg);
+            let live = Liveness::compute(&p, &cfg);
+            let dom = Dominators::compute(&cfg);
+            let cp = ConstProp::compute(&p, &cfg);
+            let ia = InductionAnalysis::compute(&p, &cfg, &rd, &cp);
+            let mut pc = PrivCheck::new(&p, &cfg, &rd, &live);
+            assert!(
+                pc.array_privatizable(&dom, &ia, lp, cw),
+                "use_new={}",
+                use_new
+            );
+            assert_eq!(pc.privatizable_arrays(&dom, &ia, lp), vec![cw]);
+        }
+    }
+}

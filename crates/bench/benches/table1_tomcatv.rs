@@ -1,0 +1,58 @@
+//! Criterion benches around the Table 1 pipeline: compile TOMCATV under
+//! each scalar-mapping policy, run the analytic estimate, and execute the
+//! small-size SPMD program end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hpf_compile::{compile_source, Options, Version};
+use hpf_kernels::tomcatv;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/compile+estimate");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for v in [
+        Version::Replication,
+        Version::ProducerAlignment,
+        Version::SelectedAlignment,
+    ] {
+        let src = tomcatv::source(65, 16, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(v.name()), &src, |b, src| {
+            b.iter(|| {
+                let compiled = compile_source(black_box(src), Options::new(v)).unwrap();
+                black_box(compiled.estimate().total_s())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmd_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/spmd-exec");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for p in [1usize, 4] {
+        let src = tomcatv::source(16, p, 1);
+        let compiled = compile_source(&src, Options::new(Version::SelectedAlignment)).unwrap();
+        let (x0, y0) = tomcatv::init_mesh(16);
+        let prog = &compiled.spmd.program;
+        let x = prog.vars.lookup("x").unwrap();
+        let y = prog.vars.lookup("y").unwrap();
+        g.bench_with_input(BenchmarkId::new("procs", p), &compiled, |b, compiled| {
+            b.iter(|| {
+                let mut exec = hpf_spmd::SpmdExec::new(&compiled.spmd, |m| {
+                    m.fill_real(x, &x0);
+                    m.fill_real(y, &y0);
+                });
+                black_box(exec.run().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_spmd_exec);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches around the Table 2 pipeline: DGEFA compilation with
+//! and without reduction alignment, plus the threaded replay runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hpf_compile::{compile_source, Options, Version};
+use hpf_kernels::dgefa;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/compile+estimate");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for v in [Version::NoReductionAlignment, Version::SelectedAlignment] {
+        let src = dgefa::source(64, 16);
+        g.bench_with_input(BenchmarkId::from_parameter(v.name()), &src, |b, src| {
+            b.iter(|| {
+                let compiled = compile_source(black_box(src), Options::new(v)).unwrap();
+                black_box(compiled.estimate().total_s())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_threaded_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/threaded-replay");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    let n = 12i64;
+    let src = dgefa::source(n, 4);
+    let compiled = compile_source(&src, Options::new(Version::SelectedAlignment)).unwrap();
+    let a0 = dgefa::init_matrix(n);
+    let a = compiled.spmd.program.vars.lookup("a").unwrap();
+    g.bench_function("replay-P4", |b| {
+        b.iter(|| {
+            black_box(
+                hpf_spmd::runtime::validate_replay(&compiled.spmd, |m| {
+                    m.fill_real(a, &a0);
+                })
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_threaded_replay);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches around the Table 3 pipeline: APPSP 1-D/2-D variants
+//! through compilation + cost estimation, and the privatization mapping
+//! pass in isolation (ablation of partial privatization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hpf_compile::{compile_source, Options, Version};
+use hpf_kernels::appsp;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/compile+estimate");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    let configs: [(&str, String, Version); 4] = [
+        (
+            "1d-nopriv",
+            appsp::source_1d(32, 16, 2),
+            Version::NoArrayPrivatization,
+        ),
+        ("1d-priv", appsp::source_1d(32, 16, 2), Version::SelectedAlignment),
+        (
+            "2d-nopartial",
+            appsp::source_2d(32, 4, 4, 2),
+            Version::NoPartialPrivatization,
+        ),
+        ("2d-partial", appsp::source_2d(32, 4, 4, 2), Version::SelectedAlignment),
+    ];
+    for (name, src, v) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
+            b.iter(|| {
+                let compiled = compile_source(black_box(src), Options::new(v)).unwrap();
+                black_box(compiled.estimate().total_s())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mapping_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/mapping-pass");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    let p = hpf_ir::parse_program(&appsp::source_2d(32, 4, 4, 2)).unwrap();
+    let a = hpf_analysis::Analysis::run(&p);
+    let maps = hpf_dist::MappingTable::from_program(&p, None).unwrap();
+    for (name, partial) in [("partial-on", true), ("partial-off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = phpf_core::CoreConfig::full();
+                cfg.partial_priv = partial;
+                black_box(phpf_core::map_program(&p, &a, &maps, cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_mapping_pass);
+criterion_main!(benches);

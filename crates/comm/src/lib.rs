@@ -1,0 +1,28 @@
+//! # hpf-comm
+//!
+//! Communication analysis for owner-computes SPMD compilation:
+//!
+//! * [`pattern`] — symbolic owner comparison and pattern classification
+//!   (local / shift / broadcast / transpose / point-to-point);
+//! * [`placement`] — loop-level placement of communication (message
+//!   vectorization) and the paper's `SubscriptAlignLevel` / `AlignLevel`
+//!   computations (Figure 4);
+//! * [`cost`] — the SP2-calibrated machine model that makes the paper's
+//!   trade-offs (one vectorized message vs. many per-iteration messages)
+//!   quantitative.
+//!
+//! The mapping algorithm of `phpf-core` is "guided by a realistic
+//! communication cost model which takes into account the placement of
+//! communication, and hence, optimizations like message vectorization"
+//! (paper, Sec. 1) — these are that model.
+
+pub mod cost;
+pub mod pattern;
+pub mod placement;
+
+pub use cost::{CostBreakdown, MachineParams};
+pub use pattern::{classify, classify_refs, symbolic_owner, CommPattern, DimPos, SymbolicOwner};
+pub use placement::{
+    align_level, place_comm, subscript_align_level, trip_count, var_change_level,
+    vectorization_factor, Placement,
+};

@@ -1,0 +1,191 @@
+//! Additional hpf-comm coverage: classification edge cases, placement
+//! barriers, cost-model properties.
+
+use hpf_analysis::Analysis;
+use hpf_comm::pattern::{classify, CommPattern, DimPos, SymbolicOwner};
+use hpf_comm::placement::{place_comm, subscript_align_level, subscript_placement_barrier};
+use hpf_comm::MachineParams;
+use hpf_dist::MappingTable;
+use hpf_ir::{parse_program, Affine, DistFormat, Expr, Program, Stmt, StmtId, VarId};
+
+fn pos(a: Affine) -> DimPos {
+    DimPos::Pos {
+        pos: a,
+        dist: DistFormat::Block,
+        t_lo: 1,
+        t_extent: 64,
+    }
+}
+
+#[test]
+fn classify_edge_cases() {
+    let i = VarId(0);
+    // Fixed == Fixed: local; Fixed != Fixed: transpose.
+    let f1 = SymbolicOwner {
+        dims: vec![DimPos::Fixed(2)],
+    };
+    let f2 = SymbolicOwner {
+        dims: vec![DimPos::Fixed(2)],
+    };
+    assert_eq!(classify(&f1, &f2), CommPattern::Local);
+    let f3 = SymbolicOwner {
+        dims: vec![DimPos::Fixed(3)],
+    };
+    assert_eq!(classify(&f1, &f3), CommPattern::Transpose);
+
+    // Two dims shifting simultaneously: transpose (no single collective
+    // shift covers it).
+    let src = SymbolicOwner {
+        dims: vec![pos(Affine::var(i)), pos(Affine::var(i))],
+    };
+    let dst = SymbolicOwner {
+        dims: vec![
+            pos(Affine::var(i).add(&Affine::constant(1))),
+            pos(Affine::var(i).add(&Affine::constant(1))),
+        ],
+    };
+    assert_eq!(classify(&src, &dst), CommPattern::Transpose);
+
+    // Mismatched distributions on the same template positions: transpose.
+    let cyc = SymbolicOwner {
+        dims: vec![DimPos::Pos {
+            pos: Affine::var(i),
+            dist: DistFormat::Cyclic,
+            t_lo: 1,
+            t_extent: 64,
+        }],
+    };
+    let blk = SymbolicOwner {
+        dims: vec![pos(Affine::var(i))],
+    };
+    assert_eq!(classify(&cyc, &blk), CommPattern::Transpose);
+
+    // Replicated source satisfies any destination.
+    let any = SymbolicOwner {
+        dims: vec![DimPos::Any],
+    };
+    assert_eq!(classify(&any, &blk), CommPattern::Local);
+    // Shift + broadcast mix: transpose (conservative).
+    let src2 = SymbolicOwner {
+        dims: vec![pos(Affine::var(i)), pos(Affine::constant(3))],
+    };
+    let dst2 = SymbolicOwner {
+        dims: vec![pos(Affine::var(i).add(&Affine::constant(1))), DimPos::Any],
+    };
+    assert_eq!(classify(&src2, &dst2), CommPattern::Transpose);
+}
+
+fn nth_assign(p: &Program, n: usize) -> StmtId {
+    p.preorder()
+        .into_iter()
+        .filter(|&s| p.stmt(s).is_assign())
+        .nth(n)
+        .unwrap()
+}
+
+#[test]
+fn placement_barrier_vs_align_level() {
+    // B(s): align level 2 (s defined in the loop), placement barrier 2 as
+    // well (value computed in-loop); B(i): align level 1 but placement
+    // barrier 0 (affine — fully hoistable).
+    let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK) :: B
+REAL B(16), W(16)
+INTEGER i, s
+REAL x, y
+DO i = 1, 16
+  s = W(i)
+  x = B(s)
+  y = B(i)
+END DO
+"#;
+    let p = parse_program(src).unwrap();
+    let a = Analysis::run(&p);
+    let s_var = p.vars.lookup("s").unwrap();
+    let i_var = p.vars.lookup("i").unwrap();
+    let x_stmt = nth_assign(&p, 1);
+    let y_stmt = nth_assign(&p, 2);
+    let sal_s = subscript_align_level(&p, &a.cfg, &a.dom, &a.induction, x_stmt, &Expr::scalar(s_var));
+    let sal_i = subscript_align_level(&p, &a.cfg, &a.dom, &a.induction, y_stmt, &Expr::scalar(i_var));
+    assert_eq!(sal_s, 2);
+    assert_eq!(sal_i, 1);
+    let pb_s =
+        subscript_placement_barrier(&p, &a.cfg, &a.dom, &a.induction, x_stmt, &Expr::scalar(s_var));
+    let pb_i =
+        subscript_placement_barrier(&p, &a.cfg, &a.dom, &a.induction, y_stmt, &Expr::scalar(i_var));
+    assert_eq!(pb_s, 2, "non-affine subscript pins comm inside the loop");
+    assert_eq!(pb_i, 0, "affine subscript is fully vectorizable");
+
+    // And place_comm agrees: B(i) hoists out, B(s) stays in.
+    let maps = MappingTable::from_program(&p, None).unwrap();
+    let b = p.vars.lookup("b").unwrap();
+    let r_i = hpf_ir::ArrayRef::new(b, vec![Expr::scalar(i_var)]);
+    let r_s = hpf_ir::ArrayRef::new(b, vec![Expr::scalar(s_var)]);
+    let pl_i = place_comm(&p, &a.cfg, &a.dom, &a.induction, maps.of(b), y_stmt, &r_i);
+    let pl_s = place_comm(&p, &a.cfg, &a.dom, &a.induction, maps.of(b), x_stmt, &r_s);
+    assert_eq!(pl_i.level, 0);
+    assert!(pl_s.is_inner_loop());
+}
+
+#[test]
+fn cost_model_relations() {
+    let m = MachineParams::sp2();
+    // A shift is one message regardless of processor count.
+    assert_eq!(m.shift(100, 4), m.shift(100, 16));
+    assert_eq!(m.shift(100, 1), 0.0);
+    // A transpose of the same total data gets cheaper per pair with more
+    // processors but pays more startups.
+    let t4 = m.transpose(1 << 20, 4);
+    let t16 = m.transpose(1 << 20, 16);
+    assert!(t4 > 0.0 && t16 > 0.0);
+    // Broadcast to everyone >= shift of the same payload.
+    assert!(m.broadcast(4096, 8) > m.shift(4096, 8));
+    // The zero-comm machine really is free.
+    let z = MachineParams::zero_comm("free", 1e-9);
+    assert_eq!(z.broadcast(1 << 20, 16), 0.0);
+    assert_eq!(z.msg(1 << 20), 0.0);
+    assert!(z.compute(1000) > 0.0);
+}
+
+#[test]
+fn trip_count_with_symbolic_bounds() {
+    let src = r#"
+REAL W(8)
+INTEGER i, n2
+n2 = 6
+DO i = 2, n2
+  W(i) = 1.0
+END DO
+"#;
+    let p = parse_program(src).unwrap();
+    let a = Analysis::run(&p);
+    let l = p
+        .preorder()
+        .into_iter()
+        .find(|&s| p.stmt(s).is_loop())
+        .unwrap();
+    assert_eq!(
+        hpf_comm::placement::trip_count(&p, &a.cfg, &a.constprop, l),
+        Some(5)
+    );
+}
+
+#[test]
+fn var_change_level_with_inner_defs() {
+    let src = r#"
+REAL W(8,8)
+INTEGER i, j, t
+DO i = 1, 8
+  DO j = 1, 8
+    t = j * 2
+    W(i,j) = t
+  END DO
+END DO
+"#;
+    let p = parse_program(src).unwrap();
+    let w_stmt = nth_assign(&p, 1);
+    let t = p.vars.lookup("t").unwrap();
+    assert_eq!(hpf_comm::var_change_level(&p, w_stmt, t), 2);
+    let _ = Stmt::Continue; // keep the Stmt import exercised
+}

@@ -1,0 +1,128 @@
+//! `phpfc` — command-line driver for the privatization compiler.
+//!
+//! ```text
+//! phpfc <file.hpf> [--version replication|producer|selected|no-reduction|
+//!                              no-array-priv|no-partial-priv]
+//!                  [--procs P1[,P2[,P3]]]
+//!                  [--combine]         enable global message combining
+//!                  [--auto-priv]       enable automatic array privatization
+//!                  [--estimate]        print the simulated SP2 cost
+//!                  [--pretty]          echo the parsed program back
+//! ```
+//!
+//! With no flags it prints the compilation report (mapping decisions,
+//! guards, communication schedule).
+
+use hpf_compile::{compile_source, Options, Version};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: phpfc <file.hpf> [--version <v>] [--procs P1[,P2,..]] \
+         [--combine] [--auto-priv] [--estimate] [--pretty]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut file: Option<String> = None;
+    let mut version = Version::SelectedAlignment;
+    let mut grid: Option<Vec<usize>> = None;
+    let mut combine = false;
+    let mut auto_priv = false;
+    let mut estimate = false;
+    let mut pretty = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--version" => {
+                let Some(v) = args.next() else { return usage() };
+                version = match v.as_str() {
+                    "replication" => Version::Replication,
+                    "producer" => Version::ProducerAlignment,
+                    "selected" => Version::SelectedAlignment,
+                    "no-reduction" => Version::NoReductionAlignment,
+                    "no-array-priv" => Version::NoArrayPrivatization,
+                    "no-partial-priv" => Version::NoPartialPrivatization,
+                    other => {
+                        eprintln!("unknown version '{}'", other);
+                        return usage();
+                    }
+                };
+            }
+            "--procs" => {
+                let Some(v) = args.next() else { return usage() };
+                match v.split(',').map(|x| x.parse::<usize>()).collect() {
+                    Ok(dims) => grid = Some(dims),
+                    Err(_) => {
+                        eprintln!("bad --procs '{}'", v);
+                        return usage();
+                    }
+                }
+            }
+            "--combine" => combine = true,
+            "--auto-priv" => auto_priv = true,
+            "--estimate" => estimate = true,
+            "--pretty" => pretty = true,
+            "-h" | "--help" => return usage(),
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(other.to_string())
+            }
+            other => {
+                eprintln!("unknown argument '{}'", other);
+                return usage();
+            }
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("phpfc: cannot read {}: {}", file, e);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if pretty {
+        match hpf_ir::parse_program(&src) {
+            Ok(p) => {
+                print!("{}", hpf_ir::pretty::print_program(&p));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("phpfc: {}: {}", file, e);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut opts = Options::new(version);
+    if let Some(g) = grid {
+        opts = opts.with_grid(g);
+    }
+    if combine {
+        opts = opts.with_message_combining();
+    }
+    if auto_priv {
+        opts.core.auto_array_priv = true;
+    }
+    let compiled = match compile_source(&src, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("phpfc: {}: {}", file, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", compiled.report());
+    if estimate {
+        let r = compiled.estimate();
+        println!("== simulated cost ({}) ==", compiled.options.machine.name);
+        println!("total    {:>12.6} s", r.total_s());
+        println!("compute  {:>12.6} s", r.compute_s);
+        println!("comm     {:>12.6} s", r.comm_s);
+        println!("messages {:>12.0}", r.messages);
+        println!("bytes    {:>12.0}", r.bytes);
+    }
+    ExitCode::SUCCESS
+}

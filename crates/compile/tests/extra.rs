@@ -1,0 +1,92 @@
+//! Additional hpf-compile coverage: report sections, option handling,
+//! error paths.
+
+use hpf_compile::{compile_source, Options, Version};
+
+const RED_SRC: &str = r#"
+!HPF$ PROCESSORS P(2,2)
+!HPF$ ALIGN B(i) WITH A(i,1)
+!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A
+REAL A(8,8), B(8)
+INTEGER i, j
+REAL s
+DO i = 1, 8
+  s = 0.0
+  DO j = 1, 8
+    s = s + A(i,j)
+  END DO
+  B(i) = s
+END DO
+"#;
+
+#[test]
+fn report_includes_reduction_section() {
+    let c = compile_source(RED_SRC, Options::default()).unwrap();
+    let r = c.report();
+    assert!(r.contains("== reductions =="), "{}", r);
+    assert!(r.contains("combine s over grid dims [1]"), "{}", r);
+    assert!(r.contains("with free grid dims") || r.contains("owner of a"), "{}", r);
+}
+
+#[test]
+fn bad_grid_dimensions_rejected() {
+    let src = r#"
+!HPF$ PROCESSORS P(2)
+!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A
+REAL A(8,8)
+"#;
+    // Two distributed dims on a rank-1 grid.
+    let res = compile_source(src, Options::default());
+    assert!(res.is_err());
+    let msg = res.err().unwrap();
+    assert!(msg.contains("rank-1 grid"), "{}", msg);
+}
+
+#[test]
+fn machine_override_changes_estimates() {
+    let free = hpf_comm::MachineParams::zero_comm("free", 25e-9);
+    let c_sp2 = compile_source(RED_SRC, Options::default()).unwrap();
+    let c_free =
+        compile_source(RED_SRC, Options::default().with_machine(free)).unwrap();
+    let r1 = c_sp2.estimate();
+    let r2 = c_free.estimate();
+    assert!(r1.comm_s > 0.0);
+    assert_eq!(r2.comm_s, 0.0);
+    assert!((r1.compute_s - r2.compute_s).abs() < 1e-12);
+}
+
+#[test]
+fn every_version_produces_consistent_grid() {
+    for v in [
+        Version::Replication,
+        Version::ProducerAlignment,
+        Version::SelectedAlignment,
+        Version::NoReductionAlignment,
+        Version::NoArrayPrivatization,
+        Version::NoPartialPrivatization,
+    ] {
+        let c = compile_source(RED_SRC, Options::new(v).with_grid(vec![2, 2])).unwrap();
+        assert_eq!(c.spmd.maps.grid.dims(), &[2, 2], "{}", v.name());
+        assert!(!v.name().is_empty());
+    }
+}
+
+#[test]
+fn default_grid_from_processors_directive() {
+    let c = compile_source(RED_SRC, Options::default()).unwrap();
+    assert_eq!(c.spmd.maps.grid.dims(), &[2, 2]);
+}
+
+#[test]
+fn combining_idempotent() {
+    let once = compile_source(RED_SRC, Options::default().with_message_combining()).unwrap();
+    // Applying the pass a second time must change nothing.
+    let mut sp = compile_source(RED_SRC, Options::default().with_message_combining())
+        .unwrap()
+        .spmd;
+    let program = sp.program.clone();
+    let a = hpf_analysis::Analysis::run(&program);
+    let stats = hpf_spmd::combine_messages(&mut sp, &a);
+    assert_eq!(stats.eliminated(), 0);
+    assert_eq!(sp.comms.len(), once.spmd.comms.len());
+}

@@ -1,0 +1,452 @@
+//! Mapping of privatizable arrays (paper Sec. 3.1) and partial
+//! privatization (Sec. 3.2).
+//!
+//! Arrays asserted privatizable w.r.t. a loop (via `INDEPENDENT, NEW(...)`
+//! or inferred from a no-value-dependences assertion) are mapped with the
+//! same target-selection machinery as scalars. Full privatization demands
+//! that the alignment be valid at the privatization level in *every*
+//! partitioned grid dimension; when that fails on a multi-dimensional
+//! grid, partial privatization keeps the failing dimensions partitioned
+//! and privatizes only the rest — "the array may be partitioned in some
+//! grid dimensions and privatized with respect to the other dimensions".
+
+use crate::decision::{ArrayMappingDecision, Decisions};
+use hpf_analysis::Analysis;
+use hpf_comm::placement::align_level;
+use hpf_dist::{ArrayMapping, GridDimRule, MappingTable};
+use hpf_ir::{ArrayRef, LValue, Program, Stmt, StmtId, VarId};
+
+/// Decide privatization for every `(loop, array)` pair asserted
+/// privatizable. `partial` enables Sec. 3.2.
+pub fn map_arrays(
+    p: &Program,
+    a: &Analysis<'_>,
+    maps: &MappingTable,
+    partial: bool,
+    d: &mut Decisions,
+) {
+    map_arrays_with(p, a, maps, partial, false, d)
+}
+
+/// Like [`map_arrays`], optionally also privatizing arrays *inferred*
+/// privatizable by the automatic analysis (no `NEW` clause needed — the
+/// paper's stated future work).
+pub fn map_arrays_with(
+    p: &Program,
+    a: &Analysis<'_>,
+    maps: &MappingTable,
+    partial: bool,
+    auto: bool,
+    d: &mut Decisions,
+) {
+    let mut pc = a.priv_check();
+    for l in p.preorder() {
+        if !p.stmt(l).is_loop() {
+            continue;
+        }
+        let mut arrays = pc.privatizable_arrays(&a.dom, &a.induction, l);
+        if auto {
+            for v in hpf_analysis::autopriv::auto_privatizable_arrays(
+                p,
+                &a.cfg,
+                &a.dom,
+                &a.induction,
+                l,
+            ) {
+                // Only consider arrays the directives left replicated —
+                // distributed arrays are not privatization candidates.
+                if maps.of(v).is_fully_replicated() && !arrays.contains(&v) {
+                    arrays.push(v);
+                }
+            }
+        }
+        let asserted = pc.privatizable_arrays(&a.dom, &a.induction, l);
+        for v in arrays {
+            // An array already privatized w.r.t. an outer loop stays with
+            // the outermost *successful* decision.
+            let outer_done = d.arrays.iter().any(|((ol, ov), dec)| {
+                *ov == v
+                    && p.is_self_or_ancestor(*ol, l)
+                    && !matches!(dec, ArrayMappingDecision::Unchanged)
+            });
+            if outer_done {
+                continue;
+            }
+            let decision = decide(p, a, maps, l, v, partial);
+            // A failed automatic attempt at this loop is not recorded, so
+            // inner loops can still try (directive-asserted failures are
+            // recorded — they are what Table 3's "No Partial Priv."
+            // column measures).
+            if matches!(decision, ArrayMappingDecision::Unchanged) && !asserted.contains(&v) {
+                continue;
+            }
+            d.arrays.insert((l, v), decision);
+        }
+    }
+}
+
+fn decide(
+    p: &Program,
+    a: &Analysis<'_>,
+    maps: &MappingTable,
+    l: StmtId,
+    v: VarId,
+    partial: bool,
+) -> ArrayMappingDecision {
+    let priv_level = p.nesting_level(l) + 1;
+    // Target selection: "identical to that used for scalar variables" —
+    // the consumer references of the array's elements are the lhs
+    // references of statements that read it; pick a partitioned one.
+    let target = select_target(p, a, maps, l, v);
+    let Some((ts, tr)) = target else {
+        // No partitioned consumer: privatize fully (each executing
+        // processor keeps its own copy; NEW guarantees no live-out).
+        return ArrayMappingDecision::FullPrivate { target: None };
+    };
+    let tmap = maps.of(tr.array);
+    // Classify each partitioned grid dimension by the validity of the
+    // alignment at the privatization level, considering that dimension
+    // alone (Sec. 3.2's modified AlignLevel).
+    let mut bad_dims = Vec::new();
+    for (g, rule) in tmap.rules.iter().enumerate() {
+        if !matches!(rule, GridDimRule::ByDim { .. }) {
+            continue;
+        }
+        let al = align_level(
+            p,
+            &a.cfg,
+            &a.dom,
+            &a.induction,
+            tmap,
+            ts,
+            &tr,
+            Some(&[g]),
+        );
+        if al > priv_level {
+            bad_dims.push(g);
+        }
+    }
+    if bad_dims.is_empty() {
+        return ArrayMappingDecision::FullPrivate {
+            target: Some((ts, tr)),
+        };
+    }
+    if !partial {
+        // "The compiler will fail in its attempt to privatize the array" —
+        // it stays replicated/as-declared.
+        return ArrayMappingDecision::Unchanged;
+    }
+    // Partial privatization: keep the bad dimensions partitioned. The
+    // array dimension to partition is found by correlating loop indices of
+    // the target's driving subscript with the privatized array's own
+    // references inside the loop.
+    let mut partition = Vec::new();
+    for &g in &bad_dims {
+        let Some(adim) = correlate_dim(p, a, l, v, tmap, ts, &tr, g) else {
+            return ArrayMappingDecision::Unchanged;
+        };
+        partition.push((g, adim));
+    }
+    // Everything not partitioned becomes private.
+    let private_dims: Vec<usize> = (0..tmap.rules.len())
+        .filter(|g| !partition.iter().any(|(pg, _)| pg == g))
+        .collect();
+    ArrayMappingDecision::PartialPrivate {
+        private_dims,
+        partition,
+        target: Some((ts, tr)),
+    }
+}
+
+/// Find a partitioned consumer reference for array `v` inside loop `l`:
+/// the lhs reference of a statement whose rhs reads `v`.
+fn select_target(
+    p: &Program,
+    a: &Analysis<'_>,
+    maps: &MappingTable,
+    l: StmtId,
+    v: VarId,
+) -> Option<(StmtId, ArrayRef)> {
+    let _ = a;
+    for s in p.preorder() {
+        if !p.is_self_or_ancestor(l, s) {
+            continue;
+        }
+        let Stmt::Assign { lhs, rhs } = p.stmt(s) else {
+            continue;
+        };
+        let reads_v = rhs.array_refs().iter().any(|r| r.array == v);
+        if !reads_v {
+            continue;
+        }
+        if let LValue::Array(r) = lhs {
+            if r.array != v && !maps.of(r.array).is_fully_replicated() {
+                return Some((s, r.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Which dimension of `v`'s references corresponds to the target's grid
+/// dimension `g`? Correlate through the loop index driving the target's
+/// subscript in that dimension.
+#[allow(clippy::too_many_arguments)]
+fn correlate_dim(
+    p: &Program,
+    a: &Analysis<'_>,
+    l: StmtId,
+    v: VarId,
+    tmap: &ArrayMapping,
+    ts: StmtId,
+    tr: &ArrayRef,
+    g: usize,
+) -> Option<usize> {
+    let adim = tmap.array_dim_of_grid_dim(g)?;
+    let sub = tr.subs.get(adim)?;
+    let aff = a.induction.affine_view(p, &a.cfg, &a.dom, ts, sub)?;
+    // The driving loop index: the unique loop variable in the subscript.
+    let mut driver = None;
+    for var in aff.vars() {
+        let is_index = p
+            .enclosing_loops(ts)
+            .iter()
+            .any(|&lp| p.loop_var(lp) == Some(var));
+        if is_index {
+            if driver.is_some() {
+                return None;
+            }
+            driver = Some(var);
+        }
+    }
+    let driver = driver?;
+    // Find a write reference of v inside l whose subscript in some
+    // dimension uses the same index.
+    for s in p.preorder() {
+        if !p.is_self_or_ancestor(l, s) {
+            continue;
+        }
+        let Stmt::Assign {
+            lhs: LValue::Array(r),
+            ..
+        } = p.stmt(s)
+        else {
+            continue;
+        };
+        if r.array != v {
+            continue;
+        }
+        for (dim, sub) in r.subs.iter().enumerate() {
+            if let Some(aff) = a.induction.affine_view(p, &a.cfg, &a.dom, s, sub) {
+                if aff.depends_on(driver) {
+                    return Some(dim);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Build the concrete [`ArrayMapping`] implementing a decision, to install
+/// into a [`MappingTable`] for lowering.
+pub fn realize_mapping(
+    p: &Program,
+    maps: &MappingTable,
+    v: VarId,
+    decision: &ArrayMappingDecision,
+) -> Option<ArrayMapping> {
+    let grid_rank = maps.grid.rank();
+    match decision {
+        ArrayMappingDecision::Unchanged => None,
+        ArrayMappingDecision::FullPrivate { .. } => Some(ArrayMapping {
+            array: v,
+            rules: vec![GridDimRule::Private; grid_rank],
+        }),
+        ArrayMappingDecision::PartialPrivate {
+            partition,
+            target,
+            ..
+        } => {
+            let mut rules = vec![GridDimRule::Private; grid_rank];
+            let shape = p.vars.info(v).shape()?;
+            let tmap = target.as_ref().map(|(_, tr)| maps.of(tr.array));
+            for &(g, adim) in partition {
+                // Reuse the target's distribution format on v's own extent.
+                let dist = match tmap.map(|m| &m.rules[g]) {
+                    Some(GridDimRule::ByDim { dist, .. }) => *dist,
+                    _ => hpf_ir::DistFormat::Block,
+                };
+                let (lo, hi) = shape.dims[adim];
+                rules[g] = GridDimRule::ByDim {
+                    array_dim: adim,
+                    dist,
+                    stride: 1,
+                    offset: 0,
+                    t_lo: lo,
+                    t_extent: hi - lo + 1,
+                };
+            }
+            Some(ArrayMapping { array: v, rules })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::parse_program;
+
+    /// The paper's Figure 6 (APPSP fragment): `c` is privatizable w.r.t.
+    /// the k loop but its j subscript prevents full privatization on a 2-D
+    /// grid; partial privatization partitions c's j dimension and
+    /// privatizes the k grid dimension.
+    fn figure6() -> Program {
+        parse_program(
+            r#"
+!HPF$ PROCESSORS P(2,2)
+!HPF$ DISTRIBUTE (*, *, BLOCK, BLOCK) :: RSD
+REAL RSD(5,8,8,8), C(8,8,5)
+INTEGER i, j, k
+!HPF$ INDEPENDENT, NEW(c)
+DO k = 2, 7
+  DO j = 2, 7
+    DO i = 2, 7
+      C(i,j,1) = RSD(1,i,j,k) + 1.0
+    END DO
+  END DO
+  DO j = 3, 7
+    DO i = 2, 7
+      RSD(1,i,j,k) = C(i,j-1,1) * 2.0
+    END DO
+  END DO
+END DO
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure6_partial_privatization() {
+        let p = figure6();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let c = p.vars.lookup("c").unwrap();
+        let kloop = p
+            .preorder()
+            .into_iter()
+            .find(|&s| p.loop_var(s) == Some(p.vars.lookup("k").unwrap()))
+            .unwrap();
+
+        // With partial privatization on:
+        let mut d = Decisions::default();
+        map_arrays(&p, &a, &maps, true, &mut d);
+        match d.array(kloop, c) {
+            ArrayMappingDecision::PartialPrivate {
+                private_dims,
+                partition,
+                ..
+            } => {
+                // Grid dim 1 (driven by k) can be privatized; grid dim 0
+                // (driven by j) must stay partitioned, on c's dim 1.
+                assert_eq!(private_dims, &vec![1]);
+                assert_eq!(partition, &vec![(0, 1)]);
+            }
+            other => panic!("expected partial privatization, got {:?}", other),
+        }
+
+        // Without partial privatization the attempt fails entirely.
+        let mut d2 = Decisions::default();
+        map_arrays(&p, &a, &maps, false, &mut d2);
+        assert_eq!(*d2.array(kloop, c), ArrayMappingDecision::Unchanged);
+    }
+
+    #[test]
+    fn figure6_realized_mapping() {
+        let p = figure6();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let c = p.vars.lookup("c").unwrap();
+        let kloop = p
+            .preorder()
+            .into_iter()
+            .find(|&s| p.loop_var(s) == Some(p.vars.lookup("k").unwrap()))
+            .unwrap();
+        let mut d = Decisions::default();
+        map_arrays(&p, &a, &maps, true, &mut d);
+        let m = realize_mapping(&p, &maps, c, d.array(kloop, c)).unwrap();
+        assert!(matches!(m.rules[1], GridDimRule::Private));
+        match &m.rules[0] {
+            GridDimRule::ByDim {
+                array_dim, dist, ..
+            } => {
+                assert_eq!(*array_dim, 1);
+                assert_eq!(*dist, hpf_ir::DistFormat::Block);
+            }
+            other => panic!("{:?}", other),
+        }
+        assert_eq!(m.private_dims(), vec![1]);
+    }
+
+    /// On a 1-D distribution the same array privatizes fully.
+    #[test]
+    fn full_privatization_on_1d() {
+        let p = parse_program(
+            r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (*, *, *, BLOCK) :: RSD
+REAL RSD(5,8,8,8), C(8,8,5)
+INTEGER i, j, k
+!HPF$ INDEPENDENT, NEW(c)
+DO k = 2, 7
+  DO j = 2, 7
+    DO i = 2, 7
+      C(i,j,1) = RSD(1,i,j,k) + 1.0
+    END DO
+  END DO
+  DO j = 3, 7
+    DO i = 2, 7
+      RSD(1,i,j,k) = C(i,j-1,1) * 2.0
+    END DO
+  END DO
+END DO
+"#,
+        )
+        .unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let c = p.vars.lookup("c").unwrap();
+        let kloop = p
+            .preorder()
+            .into_iter()
+            .find(|&s| p.loop_var(s) == Some(p.vars.lookup("k").unwrap()))
+            .unwrap();
+        let mut d = Decisions::default();
+        map_arrays(&p, &a, &maps, true, &mut d);
+        assert!(matches!(
+            d.array(kloop, c),
+            ArrayMappingDecision::FullPrivate { .. }
+        ));
+    }
+
+    #[test]
+    fn no_new_clause_no_decision() {
+        let p = parse_program(
+            r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(8), C(8)
+INTEGER i
+DO i = 1, 8
+  C(i) = 1.0
+  A(i) = C(i)
+END DO
+"#,
+        )
+        .unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        map_arrays(&p, &a, &maps, true, &mut d);
+        assert!(d.arrays.is_empty());
+    }
+}

@@ -1,0 +1,808 @@
+//! The scalar mapping algorithm — the paper's Figure 3 (`DetermineMapping`)
+//! and Section 2.2.
+//!
+//! For every privatizable scalar definition the algorithm chooses among
+//! privatization without alignment, alignment with a consumer reference,
+//! alignment with a producer reference, and replication (the default),
+//! guided by the communication analysis: a consumer alignment is preferred
+//! unless it would leave *inner-loop* communication for some rhs operand
+//! of the defining statement (communication that message vectorization
+//! cannot hoist), in which case a partitioned producer reference is chosen
+//! instead.
+//!
+//! The three policies correspond to the compiler versions evaluated in the
+//! paper's Table 1.
+
+use crate::consumer::{consumers_for_use, ConsumerRef};
+use crate::decision::{Decisions, ScalarMapping};
+use hpf_analysis::{Analysis, PrivCheck};
+use hpf_comm::pattern::{classify, symbolic_owner, CommPattern};
+use hpf_comm::placement::{align_level, place_comm};
+use hpf_dist::MappingTable;
+use hpf_ir::{ArrayRef, Expr, LValue, Program, Stmt, StmtId, VarId};
+use std::collections::HashSet;
+
+/// Scalar-mapping policy: the paper's three compiler versions (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarPolicy {
+    /// "The most naive version of the compiler ... replicates all scalar
+    /// variables."
+    Replication,
+    /// "Performs privatization, but always aligns each scalar definition
+    /// with a producer reference."
+    ProducerAlign,
+    /// "Applies the algorithm described in Section 2.2" — the paper's
+    /// contribution.
+    Selected,
+}
+
+/// Configuration of the whole mapping phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    pub scalar_policy: ScalarPolicy,
+    /// Section 2.3 reduction mapping (Table 2's "Alignment" column).
+    pub reduction_align: bool,
+    /// Section 3.1 array privatization (Table 3).
+    pub array_priv: bool,
+    /// Section 3.2 partial privatization (Table 3).
+    pub partial_priv: bool,
+    /// Section 4 privatized execution of control flow.
+    pub privatize_control: bool,
+    /// Automatic array privatization (the paper's stated future work):
+    /// infer privatizability without `NEW` clauses via the Tu–Padua-style
+    /// coverage test in `hpf_analysis::autopriv`.
+    pub auto_array_priv: bool,
+    /// Ablation: always take the consumer alignment when one exists,
+    /// skipping Fig. 3's "leads to inner loop communication" check that
+    /// falls back to a producer reference. Isolates the value of the
+    /// paper's cost-model-guided preference rule.
+    pub prefer_consumer_always: bool,
+}
+
+impl CoreConfig {
+    /// Everything on — the paper's full system.
+    pub fn full() -> CoreConfig {
+        CoreConfig {
+            scalar_policy: ScalarPolicy::Selected,
+            reduction_align: true,
+            array_priv: true,
+            partial_priv: true,
+            privatize_control: true,
+            auto_array_priv: false,
+            prefer_consumer_always: false,
+        }
+    }
+
+    /// The full system plus automatic array privatization.
+    pub fn full_auto() -> CoreConfig {
+        let mut c = CoreConfig::full();
+        c.auto_array_priv = true;
+        c
+    }
+
+    /// The naive baseline.
+    pub fn naive() -> CoreConfig {
+        CoreConfig {
+            scalar_policy: ScalarPolicy::Replication,
+            reduction_align: false,
+            array_priv: false,
+            partial_priv: false,
+            privatize_control: false,
+            auto_array_priv: false,
+            prefer_consumer_always: false,
+        }
+    }
+}
+
+/// Outcome of consumer-reference selection across the reached uses.
+enum ConsumerSel {
+    /// Some use needs the value everywhere: stay replicated.
+    ForcedReplicated,
+    Found(StmtId, ArrayRef),
+    None,
+}
+
+pub(crate) struct ScalarMapper<'a, 'p> {
+    p: &'p Program,
+    a: &'a Analysis<'p>,
+    maps: &'a MappingTable,
+    cfg: CoreConfig,
+    pc: PrivCheck<'a>,
+    visited: HashSet<StmtId>,
+    in_progress: HashSet<StmtId>,
+    no_align_exam: Vec<StmtId>,
+}
+
+impl<'a, 'p> ScalarMapper<'a, 'p> {
+    pub fn new(
+        p: &'p Program,
+        a: &'a Analysis<'p>,
+        maps: &'a MappingTable,
+        cfg: CoreConfig,
+    ) -> Self {
+        ScalarMapper {
+            p,
+            a,
+            maps,
+            cfg,
+            pc: a.priv_check(),
+            visited: HashSet::new(),
+            in_progress: HashSet::new(),
+            no_align_exam: Vec::new(),
+        }
+    }
+
+    /// Run the pass over every scalar definition, then re-examine the
+    /// privatization-without-alignment candidates (the deferral explained
+    /// in Sec. 2.2: rhs references to not-yet-mapped privatizable scalars
+    /// "appear to be replicated at this stage").
+    pub fn run(&mut self, d: &mut Decisions) {
+        if self.cfg.scalar_policy == ScalarPolicy::Replication {
+            return;
+        }
+        for s in self.p.preorder() {
+            if is_scalar_def(self.p, s) && !d.scalars.contains_key(&s) {
+                self.determine(s, d);
+            }
+        }
+        // Final NoAlignExam pass.
+        for def in std::mem::take(&mut self.no_align_exam) {
+            if self.rhs_all_replicated(def, d) {
+                d.set_scalar(def, ScalarMapping::PrivateNoAlign);
+            }
+        }
+    }
+
+    /// The paper's `DetermineMapping(def, stmt)`.
+    fn determine(&mut self, def: StmtId, d: &mut Decisions) {
+        if self.visited.contains(&def) || self.in_progress.contains(&def) {
+            return;
+        }
+        self.in_progress.insert(def);
+        self.determine_inner(def, d);
+        self.in_progress.remove(&def);
+        self.visited.insert(def);
+    }
+
+    fn determine_inner(&mut self, def: StmtId, d: &mut Decisions) {
+        if d.scalars.contains_key(&def) {
+            return; // e.g. mapped by the reduction pass
+        }
+        // Induction variables are privatized without alignment; their
+        // closed forms stand in for their values (Sec. 2.1).
+        if self.a.induction.is_induction_def(def) {
+            d.set_scalar(def, ScalarMapping::PrivateNoAlign);
+            return;
+        }
+        // Reduction statements are handled by the Sec. 2.3 pass; if that
+        // pass is disabled they stay replicated (the Table 2 baseline).
+        if self.a.reduction_at(def).is_some() {
+            return;
+        }
+        let loops = self.p.enclosing_loops(def);
+        let Some(&l) = loops.last() else {
+            return; // outside any loop: replicated
+        };
+        // Privatizability check (IsPrivatizable of Fig. 3). The innermost
+        // loop is tried first; privatization w.r.t. it suffices for the
+        // mapping to be iteration-local.
+        if !self.pc.scalar_privatizable(l, def).without_copy_out() {
+            return;
+        }
+
+        let rhs_replicated = self.rhs_all_replicated(def, d);
+
+        if self.cfg.scalar_policy == ScalarPolicy::ProducerAlign {
+            if let Some((ps, pr)) = self.select_producer(def, d) {
+                self.align_closure(def, ps, pr, false, l, d);
+            } else if rhs_replicated && self.a.rd.is_unique_def(self.p, &self.a.cfg, def) {
+                d.set_scalar(def, ScalarMapping::PrivateNoAlign);
+            }
+            return;
+        }
+
+        // ---- Fig. 3, Selected policy ----
+        if rhs_replicated && self.a.rd.is_unique_def(self.p, &self.a.cfg, def) {
+            self.no_align_exam.push(def);
+        }
+        let mut align: Option<(StmtId, ArrayRef, bool)> = None;
+        match self.select_consumer(def, d) {
+            ConsumerSel::ForcedReplicated => {
+                // Some use needs the value on every processor (loop bound
+                // or broadcast subscript): the definition must stay
+                // replicated — including withdrawing it from the
+                // privatization-without-alignment candidates.
+                self.no_align_exam.retain(|&x| x != def);
+                return;
+            }
+            ConsumerSel::Found(ts, tr) => align = Some((ts, tr, true)),
+            ConsumerSel::None => {}
+        }
+        if !rhs_replicated && !self.cfg.prefer_consumer_always {
+            let consumer_bad = match &align {
+                None => true,
+                Some((ts, tr, _)) => self.alignment_causes_inner_loop_comm(def, *ts, tr, d),
+            };
+            if consumer_bad {
+                if let Some((ps, pr)) = self.select_producer(def, d) {
+                    align = Some((ps, pr, false));
+                }
+            }
+        }
+        if let Some((ts, tr, from_consumer)) = align {
+            self.align_closure(def, ts, tr, from_consumer, l, d);
+        }
+    }
+
+    /// Are all rhs operands of `def`'s statement replicated (in the sense
+    /// of the paper: replicated arrays; scalars that are replicated,
+    /// privatized without alignment, or loop indices)?
+    fn rhs_all_replicated(&mut self, def: StmtId, d: &mut Decisions) -> bool {
+        let Stmt::Assign { rhs, .. } = self.p.stmt(def) else {
+            return false;
+        };
+        let rhs = rhs.clone();
+        // Array operands.
+        for r in rhs.array_refs() {
+            if !self.maps.of(r.array).is_fully_replicated() {
+                return false;
+            }
+        }
+        // Scalar operands.
+        for w in rhs.scalar_reads() {
+            if self.scalar_operand_mapping(def, w, d).is_some() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The alignment target of a scalar operand `w` read at `at`, if the
+    /// operand is mapped to partitioned data. `None` means the operand is
+    /// available locally (replicated / private / loop index / induction).
+    ///
+    /// Deliberately NOT recursive: the paper's Sec. 2.2 deferral — "there
+    /// may be rhs references to privatizable scalar or array variables ...
+    /// for which mapping decisions have not yet been made, so those
+    /// variables appear to be replicated at this stage" — with the
+    /// `NoAlignExam` list re-examined at the end of the pass. (Recursing
+    /// here lets sibling-operand cycles contaminate consumer chains.)
+    fn scalar_operand_mapping(
+        &mut self,
+        at: StmtId,
+        w: VarId,
+        d: &mut Decisions,
+    ) -> Option<(StmtId, ArrayRef)> {
+        // Loop indices of enclosing loops are known everywhere.
+        if self
+            .p
+            .enclosing_loops(at)
+            .iter()
+            .any(|&l| self.p.loop_var(l) == Some(w))
+        {
+            return None;
+        }
+        let defs = self.a.rd.reaching_defs(&self.a.cfg, at, w);
+        for rdef in defs {
+            if self.p.stmt(rdef).is_loop() {
+                // Value left over from a DO index: known everywhere.
+                continue;
+            }
+            match d.scalar(rdef) {
+                ScalarMapping::Replicated | ScalarMapping::PrivateNoAlign => {}
+                ScalarMapping::Aligned {
+                    target, target_stmt, ..
+                }
+                | ScalarMapping::Reduction {
+                    target, target_stmt, ..
+                } => return Some((*target_stmt, target.clone())),
+            }
+        }
+        None
+    }
+
+    /// Traverse the reached uses of `def` and select a consumer reference
+    /// (Sec. 2.2, "Identification of Alignment Target").
+    fn select_consumer(&mut self, def: StmtId, d: &mut Decisions) -> ConsumerSel {
+        let Some(var) = self.a.rd.def_var(def) else {
+            return ConsumerSel::None;
+        };
+        let uses = self.a.rd.reached_uses(self.p, &self.a.cfg, def);
+        let mut best: Option<(i64, StmtId, ArrayRef)> = None;
+        for u in uses {
+            for c in consumers_for_use(self.p, self.a, self.maps, u, var) {
+                match c {
+                    ConsumerRef::Replicated => return ConsumerSel::ForcedReplicated,
+                    ConsumerRef::Ref { stmt, r } => {
+                        if !self.maps.of(r.array).is_fully_replicated() {
+                            self.consider(&mut best, def, stmt, r);
+                        }
+                        // Consumer references to replicated data are
+                        // ignored (paper Sec. 2.2).
+                    }
+                    ConsumerRef::ScalarLhs { stmt, .. } => {
+                        // Recursively map the privatizable consumer scalar
+                        // and use its target as the consumer reference.
+                        self.determine(stmt, d);
+                        if let Some((ts, tr)) = d.scalar(stmt).align_target().map(|(r, s)| (s, r.clone())) {
+                            self.consider(&mut best, def, ts, tr);
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, s, r)) => ConsumerSel::Found(s, r),
+            None => ConsumerSel::None,
+        }
+    }
+
+    /// Scoring: favour "a reference in which a distributed array dimension
+    /// is traversed in the innermost common loop enclosing the scalar
+    /// definition and the reached use" (Sec. 2.2) — alignment with such a
+    /// reference maps the scalar to different processors in different
+    /// iterations.
+    fn consider(
+        &self,
+        best: &mut Option<(i64, StmtId, ArrayRef)>,
+        def: StmtId,
+        stmt: StmtId,
+        r: ArrayRef,
+    ) {
+        let score = self.score_ref(def, stmt, &r);
+        match best {
+            Some((b, ..)) if *b >= score => {}
+            _ => *best = Some((score, stmt, r)),
+        }
+    }
+
+    fn score_ref(&self, def: StmtId, stmt: StmtId, r: &ArrayRef) -> i64 {
+        let common = self
+            .p
+            .innermost_common_loop(def, stmt)
+            .map(|(l, _)| l);
+        let mapping = self.maps.of(r.array);
+        let mut score = 0;
+        for (g, _) in mapping.rules.iter().enumerate() {
+            let Some(adim) = mapping.array_dim_of_grid_dim(g) else {
+                continue;
+            };
+            let Some(sub) = r.subs.get(adim) else { continue };
+            let Some(aff) =
+                self.a
+                    .induction
+                    .affine_view(self.p, &self.a.cfg, &self.a.dom, stmt, sub)
+            else {
+                continue;
+            };
+            for v in aff.vars() {
+                if let Some(cl) = common {
+                    if self.p.loop_var(cl) == Some(v) {
+                        score = score.max(2);
+                        continue;
+                    }
+                }
+                if self
+                    .p
+                    .enclosing_loops(stmt)
+                    .iter()
+                    .any(|&l| self.p.loop_var(l) == Some(v))
+                {
+                    score = score.max(1);
+                }
+            }
+        }
+        score
+    }
+
+    /// Select a partitioned producer reference on `def`'s own statement:
+    /// a distributed rhs array reference, or a scalar operand aligned to
+    /// partitioned data.
+    fn select_producer(
+        &mut self,
+        def: StmtId,
+        d: &mut Decisions,
+    ) -> Option<(StmtId, ArrayRef)> {
+        let Stmt::Assign { rhs, .. } = self.p.stmt(def) else {
+            return None;
+        };
+        let rhs: Expr = rhs.clone();
+        let mut best: Option<(i64, StmtId, ArrayRef)> = None;
+        for r in rhs.array_refs() {
+            if !self.maps.of(r.array).is_fully_replicated() {
+                self.consider(&mut best, def, def, r.clone());
+            }
+        }
+        for w in rhs.scalar_reads() {
+            if let Some((ts, tr)) = self.scalar_operand_mapping(def, w, d) {
+                self.consider(&mut best, def, ts, tr);
+            }
+        }
+        best.map(|(_, s, r)| (s, r))
+    }
+
+    /// Would aligning `def` with `target` leave inner-loop communication
+    /// for some rhs operand of `def`'s statement (Fig. 3's test)?
+    fn alignment_causes_inner_loop_comm(
+        &mut self,
+        def: StmtId,
+        target_stmt: StmtId,
+        target: &ArrayRef,
+        d: &mut Decisions,
+    ) -> bool {
+        let Stmt::Assign { rhs, .. } = self.p.stmt(def) else {
+            return false;
+        };
+        let rhs = rhs.clone();
+        let Some(dst) = symbolic_owner(
+            self.p,
+            &self.a.cfg,
+            &self.a.dom,
+            &self.a.induction,
+            self.maps.of(target.array),
+            target_stmt,
+            target,
+        ) else {
+            return true;
+        };
+        // Array operands: non-local && non-vectorizable ⇒ inner-loop comm.
+        for r in rhs.array_refs() {
+            let m = self.maps.of(r.array);
+            if m.is_fully_replicated() {
+                continue;
+            }
+            let src = symbolic_owner(
+                self.p,
+                &self.a.cfg,
+                &self.a.dom,
+                &self.a.induction,
+                m,
+                def,
+                r,
+            );
+            let local = matches!(
+                src.as_ref().map(|s| classify(s, &dst)),
+                Some(CommPattern::Local)
+            );
+            if local {
+                continue;
+            }
+            let pl = place_comm(
+                self.p,
+                &self.a.cfg,
+                &self.a.dom,
+                &self.a.induction,
+                m,
+                def,
+                r,
+            );
+            if pl.is_inner_loop() {
+                return true;
+            }
+        }
+        // Scalar operands produced in the loop and mapped elsewhere cannot
+        // be vectorized at all.
+        for w in rhs.scalar_reads() {
+            if let Some((ts, tr)) = self.scalar_operand_mapping(def, w, d) {
+                let src = symbolic_owner(
+                    self.p,
+                    &self.a.cfg,
+                    &self.a.dom,
+                    &self.a.induction,
+                    self.maps.of(tr.array),
+                    ts,
+                    &tr,
+                );
+                let local = matches!(
+                    src.as_ref().map(|s| classify(s, &dst)),
+                    Some(CommPattern::Local)
+                );
+                if !local {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Record the alignment for `def` and, for mapping consistency
+    /// (Sec. 2.2), for every reaching definition of every reached use —
+    /// provided the alignment is valid at the privatization level
+    /// (`AlignLevel(r) <= l`).
+    fn align_closure(
+        &mut self,
+        def: StmtId,
+        target_stmt: StmtId,
+        target: ArrayRef,
+        from_consumer: bool,
+        l: StmtId,
+        d: &mut Decisions,
+    ) {
+        let priv_level = self.p.nesting_level(l) + 1;
+        let al = align_level(
+            self.p,
+            &self.a.cfg,
+            &self.a.dom,
+            &self.a.induction,
+            self.maps.of(target.array),
+            target_stmt,
+            &target,
+            None,
+        );
+        if al > priv_level {
+            return; // alignment not valid inside the privatization loop
+        }
+        let Some(var) = self.a.rd.def_var(def) else {
+            return;
+        };
+        // Closure: def plus all reaching defs of its reached uses.
+        let mut closure = vec![def];
+        let mut i = 0;
+        while i < closure.len() {
+            let cur = closure[i];
+            i += 1;
+            for u in self.a.rd.reached_uses(self.p, &self.a.cfg, cur) {
+                for rd in self.a.rd.reaching_defs(&self.a.cfg, u, var) {
+                    if !closure.contains(&rd) && !self.p.stmt(rd).is_loop() {
+                        closure.push(rd);
+                    }
+                }
+            }
+        }
+        for c in closure {
+            d.set_scalar(
+                c,
+                ScalarMapping::Aligned {
+                    target_stmt,
+                    target: target.clone(),
+                    from_consumer,
+                },
+            );
+            self.visited.insert(c);
+        }
+    }
+}
+
+fn is_scalar_def(p: &Program, s: StmtId) -> bool {
+    matches!(
+        p.stmt(s),
+        Stmt::Assign {
+            lhs: LValue::Scalar(_),
+            ..
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::parse_program;
+
+    fn figure1_program() -> Program {
+        parse_program(
+            r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ ALIGN (i) WITH A(i) :: B, C, D
+!HPF$ ALIGN (i) WITH A(*) :: E, F
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(20), B(20), C(20), D(20), E(20), F(20)
+INTEGER i, m
+REAL x, y, z
+m = 2
+DO i = 2, 19
+  m = m + 1
+  x = B(i) + C(i)
+  y = A(i) + B(i)
+  z = E(i) + F(i)
+  A(i+1) = y / z
+  D(m) = x / z
+END DO
+"#,
+        )
+        .unwrap()
+    }
+
+    fn def_of(p: &Program, name: &str, nth: usize) -> StmtId {
+        let v = p.vars.lookup(name).unwrap();
+        hpf_ir::visit::defs_of(p, v)
+            .into_iter()
+            .filter(|&s| p.stmt(s).is_assign())
+            .nth(nth)
+            .unwrap()
+    }
+
+    /// The headline test: the paper's Figure 1 mapping decisions.
+    ///
+    /// * `m` — induction variable: privatized without alignment;
+    /// * `x` — aligned with the *consumer* `D(m)` (its producers B/C can be
+    ///   shift-vectorized out of the loop);
+    /// * `y` — aligned with a *producer* (`A(i)`/`B(i)`), because aligning
+    ///   with the consumer `A(i+1)` would leave inner-loop communication
+    ///   for `A(i)` (A is written in the loop);
+    /// * `z` — privatized without alignment (all rhs data replicated).
+    #[test]
+    fn figure1_mapping_decisions() {
+        let p = figure1_program();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        let mut mapper = ScalarMapper::new(&p, &a, &maps, CoreConfig::full());
+        mapper.run(&mut d);
+
+        // m (the in-loop update, def #1 of m):
+        let m_def = def_of(&p, "m", 1);
+        assert_eq!(*d.scalar(m_def), ScalarMapping::PrivateNoAlign, "m");
+
+        // x:
+        let x_def = def_of(&p, "x", 0);
+        match d.scalar(x_def) {
+            ScalarMapping::Aligned {
+                target,
+                from_consumer,
+                ..
+            } => {
+                assert!(*from_consumer, "x should use consumer alignment");
+                assert_eq!(target.array, p.vars.lookup("d").unwrap());
+            }
+            other => panic!("x: {:?}", other),
+        }
+
+        // y:
+        let y_def = def_of(&p, "y", 0);
+        match d.scalar(y_def) {
+            ScalarMapping::Aligned {
+                target,
+                from_consumer,
+                ..
+            } => {
+                assert!(!*from_consumer, "y should use producer alignment");
+                let arr = target.array;
+                let an = p.vars.lookup("a").unwrap();
+                let bn = p.vars.lookup("b").unwrap();
+                assert!(arr == an || arr == bn, "y aligned with A(i) or B(i)");
+            }
+            other => panic!("y: {:?}", other),
+        }
+
+        // z:
+        let z_def = def_of(&p, "z", 0);
+        assert_eq!(*d.scalar(z_def), ScalarMapping::PrivateNoAlign, "z");
+    }
+
+    #[test]
+    fn replication_policy_maps_nothing() {
+        let p = figure1_program();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        let mut mapper = ScalarMapper::new(&p, &a, &maps, CoreConfig::naive());
+        mapper.run(&mut d);
+        assert!(d.scalars.is_empty());
+        let x_def = def_of(&p, "x", 0);
+        assert!(d.scalar(x_def).is_replicated());
+    }
+
+    #[test]
+    fn producer_policy_aligns_with_producers() {
+        let p = figure1_program();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        let mut cfg = CoreConfig::full();
+        cfg.scalar_policy = ScalarPolicy::ProducerAlign;
+        let mut mapper = ScalarMapper::new(&p, &a, &maps, cfg);
+        mapper.run(&mut d);
+        // x aligned with producer B(i) (not the consumer D): that is what
+        // makes the paper's "Producer Alignment" column slower.
+        let x_def = def_of(&p, "x", 0);
+        match d.scalar(x_def) {
+            ScalarMapping::Aligned {
+                target,
+                from_consumer,
+                ..
+            } => {
+                assert!(!*from_consumer);
+                let arr = target.array;
+                assert!(
+                    arr == p.vars.lookup("b").unwrap() || arr == p.vars.lookup("c").unwrap()
+                );
+            }
+            other => panic!("x: {:?}", other),
+        }
+        // z has no partitioned producer: privatized without alignment.
+        let z_def = def_of(&p, "z", 0);
+        assert_eq!(*d.scalar(z_def), ScalarMapping::PrivateNoAlign);
+    }
+
+    #[test]
+    fn non_privatizable_scalar_stays_replicated() {
+        // Cross-iteration use: do i { D(i) = t; t = B(i) }.
+        let p = parse_program(
+            r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ ALIGN (i) WITH A(i) :: B, D
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(16), B(16), D(16)
+INTEGER i
+REAL t
+t = 0.0
+DO i = 1, 16
+  D(i) = t
+  t = B(i)
+END DO
+"#,
+        )
+        .unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        let mut mapper = ScalarMapper::new(&p, &a, &maps, CoreConfig::full());
+        mapper.run(&mut d);
+        let t_def = def_of(&p, "t", 1);
+        assert!(d.scalar(t_def).is_replicated());
+    }
+
+    #[test]
+    fn scalar_chain_resolved_recursively() {
+        // u = B(i); w = u; D(i) = w  — w's consumer is D(i); u's consumer
+        // is w, which resolves (recursively) to D(i).
+        let p = parse_program(
+            r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ ALIGN (i) WITH A(i) :: B, D
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(16), B(16), D(16)
+INTEGER i
+REAL u, w
+DO i = 1, 16
+  u = B(i)
+  w = u
+  D(i) = w
+END DO
+"#,
+        )
+        .unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        let mut mapper = ScalarMapper::new(&p, &a, &maps, CoreConfig::full());
+        mapper.run(&mut d);
+        let u_def = def_of(&p, "u", 0);
+        let w_def = def_of(&p, "w", 0);
+        let dv = p.vars.lookup("d").unwrap();
+        for (name, def) in [("u", u_def), ("w", w_def)] {
+            match d.scalar(def) {
+                ScalarMapping::Aligned { target, .. } => {
+                    assert_eq!(target.array, dv, "{} target", name);
+                }
+                other => panic!("{}: {:?}", name, other),
+            }
+        }
+    }
+
+    #[test]
+    fn use_in_loop_bound_forces_replication() {
+        let p = parse_program(
+            r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(16)
+INTEGER i, j, nn
+DO i = 1, 4
+  nn = i * 2
+  DO j = 1, nn
+    A(j) = 1.0
+  END DO
+END DO
+"#,
+        )
+        .unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        let mut mapper = ScalarMapper::new(&p, &a, &maps, CoreConfig::full());
+        mapper.run(&mut d);
+        let nn_def = def_of(&p, "nn", 0);
+        assert!(d.scalar(nn_def).is_replicated());
+    }
+}

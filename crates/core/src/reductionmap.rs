@@ -1,0 +1,232 @@
+//! Mapping of scalars involved in reductions (paper Sec. 2.3).
+//!
+//! "Given a statement assigning value to a scalar variable which is
+//! recognized as a reduction, the compiler checks if the scalar definition
+//! is privatizable without copy-out with respect to the loop immediately
+//! surrounding the reduction loop. If so, the special array reference
+//! whose ownership governs the partitioning of the partial reduction
+//! operation serves as the alignment target. ... the scalar variable is
+//! replicated in each dimension over which reduction takes place, and is
+//! aligned with the target array reference in only the remaining grid
+//! dimensions."
+//!
+//! This is the optimization behind the paper's Table 2 (DGEFA): with the
+//! pivot-search maxloc aligned to the cyclic column `A(:,k)`, the search
+//! runs only on the owning processor column instead of on everyone after a
+//! broadcast of the column.
+
+use crate::decision::{Decisions, ScalarMapping};
+use hpf_analysis::{Analysis, Reduction};
+use hpf_dist::MappingTable;
+use hpf_ir::{Program, StmtId};
+
+/// Apply Sec. 2.3 to every recognized reduction.
+pub fn map_reductions(
+    p: &Program,
+    a: &Analysis<'_>,
+    maps: &MappingTable,
+    d: &mut Decisions,
+) {
+    for red in &a.reductions {
+        map_one(p, a, maps, red, d);
+    }
+}
+
+fn map_one(
+    p: &Program,
+    a: &Analysis<'_>,
+    maps: &MappingTable,
+    red: &Reduction,
+    d: &mut Decisions,
+) {
+    let Some(op_ref) = &red.operand else {
+        return; // scalar/replicated operand: nothing to gain
+    };
+    let mapping = maps.of(op_ref.array);
+    if !mapping.is_distributed() {
+        return;
+    }
+    // Privatizability without copy-out w.r.t. the loop immediately
+    // surrounding the reduction loop (when there is one).
+    let surrounding = p.enclosing_loops(red.loop_id).last().copied();
+    if let Some(sl) = surrounding {
+        let mut pc = a.priv_check();
+        // The accumulation statement is the defining statement considered.
+        let acc_def = accumulation_def(red);
+        if !pc.scalar_privatizable(sl, acc_def).is_privatizable() {
+            return;
+        }
+    }
+    // Reduction dimensions: grid dimensions whose driving subscript varies
+    // with the reduction loop's index.
+    let red_var = p.loop_var(red.loop_id).expect("reduction loop is a DO");
+    let mut reduce_dims = Vec::new();
+    for (g, _) in mapping.rules.iter().enumerate() {
+        let Some(adim) = mapping.array_dim_of_grid_dim(g) else {
+            continue;
+        };
+        let Some(sub) = op_ref.subs.get(adim) else {
+            continue;
+        };
+        let at = accumulation_def(red);
+        match a.induction.affine_view(p, &a.cfg, &a.dom, at, sub) {
+            Some(aff) => {
+                if aff.depends_on(red_var) {
+                    reduce_dims.push(g);
+                }
+            }
+            // Non-affine subscript varying no matter what: be safe and
+            // reduce over this dimension too.
+            None => reduce_dims.push(g),
+        }
+    }
+    let m = ScalarMapping::Reduction {
+        target_stmt: accumulation_def(red),
+        target: op_ref.clone(),
+        reduce_dims,
+        loc_var: red.loc_var,
+    };
+    // All statements of the reduction get the decision, keyed by each
+    // defining statement (the accumulator's and, for maxloc, the location
+    // variable's).
+    for &s in &red.stmts {
+        if p.stmt(s).written_var().is_some() {
+            d.set_scalar(s, m.clone());
+        }
+    }
+    // Key by the IF statement too for maxloc, so lowering can find it.
+    if red.stmts.len() > 1 {
+        d.set_scalar(red.stmts[0], m);
+    }
+}
+
+fn accumulation_def(red: &Reduction) -> StmtId {
+    // For plain accumulations stmts = [assign]; for maxloc stmts =
+    // [if, assign, assign]: the accumulator assignment is the second.
+    if red.stmts.len() == 1 {
+        red.stmts[0]
+    } else {
+        red.stmts[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::parse_program;
+
+    /// Figure 5 of the paper: sum over the second dimension of a
+    /// (BLOCK, BLOCK) array — the scalar is replicated along grid dim 1
+    /// (the reduction dimension) and aligned with A's row in grid dim 0.
+    #[test]
+    fn figure5_row_sum() {
+        let p = parse_program(
+            r#"
+!HPF$ PROCESSORS P(2,2)
+!HPF$ ALIGN B(i) WITH A(i,1)
+!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A
+REAL A(8,8), B(8)
+INTEGER i, j
+REAL s
+DO i = 1, 8
+  s = 0.0
+  DO j = 1, 8
+    s = s + A(i,j)
+  END DO
+  B(i) = s
+END DO
+"#,
+        )
+        .unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        map_reductions(&p, &a, &maps, &mut d);
+        assert_eq!(a.reductions.len(), 1);
+        let acc = accumulation_def(&a.reductions[0]);
+        match d.scalar(acc) {
+            ScalarMapping::Reduction {
+                target,
+                reduce_dims,
+                ..
+            } => {
+                assert_eq!(target.array, p.vars.lookup("a").unwrap());
+                assert_eq!(reduce_dims, &vec![1]);
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    /// DGEFA's pivot search: the operand column A(:,k) is CYCLIC by
+    /// columns; the row index j (the reduction index) lies in a collapsed
+    /// dimension, so *no* grid dimension reduces — the whole search is
+    /// confined to the owner of column k.
+    #[test]
+    fn dgefa_maxloc_confined_to_column_owner() {
+        let p = parse_program(
+            r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (*, CYCLIC) :: A
+REAL A(16,16)
+INTEGER j, k, l
+REAL tmax
+DO k = 1, 15
+  tmax = 0.0
+  l = k
+  DO j = k, 16
+    IF (ABS(A(j,k)) > tmax) THEN
+      tmax = ABS(A(j,k))
+      l = j
+    END IF
+  END DO
+  A(l,k) = A(k,k)
+END DO
+"#,
+        )
+        .unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        map_reductions(&p, &a, &maps, &mut d);
+        assert_eq!(a.reductions.len(), 1, "maxloc recognized");
+        let red = &a.reductions[0];
+        let acc = accumulation_def(red);
+        match d.scalar(acc) {
+            ScalarMapping::Reduction {
+                target,
+                reduce_dims,
+                loc_var,
+                ..
+            } => {
+                assert_eq!(target.array, p.vars.lookup("a").unwrap());
+                assert!(
+                    reduce_dims.is_empty(),
+                    "no grid dimension varies with j: search confined to the column owner"
+                );
+                assert_eq!(*loc_var, p.vars.lookup("l"));
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn replicated_operand_left_alone() {
+        let p = parse_program(
+            r#"
+!HPF$ PROCESSORS P(4)
+REAL E(16)
+INTEGER j
+REAL s
+DO j = 1, 16
+  s = s + E(j)
+END DO
+"#,
+        )
+        .unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let mut d = Decisions::default();
+        map_reductions(&p, &a, &maps, &mut d);
+        assert!(d.scalars.is_empty());
+    }
+}

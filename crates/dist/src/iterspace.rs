@@ -1,0 +1,224 @@
+//! Owner-computes iteration partitioning: loop-bound shrinking.
+//!
+//! Given a loop `DO i = lo, hi` and an lhs reference whose subscript in a
+//! distributed dimension is affine `a*i + b`, each processor coordinate
+//! executes exactly the iterations whose referenced element it owns. For
+//! BLOCK and CYCLIC with `|a| == 1` the set is a contiguous range or a
+//! strided sequence, so the loop bounds can be *shrunk* in the SPMD code
+//! (the paper, Sec. 4: "the loop bounds can be shrunk in the final SPMD
+//! code"); otherwise the lowering falls back to a per-iteration ownership
+//! guard.
+
+use hpf_ir::DistFormat;
+
+/// The iterations of a loop executed by one processor coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IterSet {
+    /// Every iteration (replicated data or runtime guard needed).
+    All,
+    Empty,
+    /// `lo..=hi` contiguous.
+    Range(i64, i64),
+    /// `first, first+step, ... <= last`.
+    Strided { first: i64, last: i64, step: i64 },
+}
+
+impl IterSet {
+    /// Number of iterations in the set, given the full loop trip count for
+    /// `All`.
+    pub fn count(&self, full: i64) -> i64 {
+        match self {
+            IterSet::All => full,
+            IterSet::Empty => 0,
+            IterSet::Range(lo, hi) => (hi - lo + 1).max(0),
+            IterSet::Strided { first, last, step } => {
+                if first > last {
+                    0
+                } else {
+                    (last - first) / step + 1
+                }
+            }
+        }
+    }
+
+    pub fn contains(&self, i: i64) -> bool {
+        match self {
+            IterSet::All => true,
+            IterSet::Empty => false,
+            IterSet::Range(lo, hi) => i >= *lo && i <= *hi,
+            IterSet::Strided { first, last, step } => {
+                i >= *first && i <= *last && (i - first) % step == 0
+            }
+        }
+    }
+
+    /// Iterate the set (requires full bounds for `All`).
+    pub fn iter(&self, full_lo: i64, full_hi: i64) -> Box<dyn Iterator<Item = i64>> {
+        match *self {
+            IterSet::All => Box::new(full_lo..=full_hi),
+            IterSet::Empty => Box::new(std::iter::empty()),
+            IterSet::Range(lo, hi) => Box::new(lo..=hi),
+            IterSet::Strided { first, last, step } => {
+                Box::new((first..=last).step_by(step.max(1) as usize))
+            }
+        }
+    }
+}
+
+/// Solve `owner(a*i + b) == coord` for `i` in `[loop_lo, loop_hi]`.
+///
+/// `t_lo`/`t_extent` describe the template dimension; `nprocs` the grid
+/// extent. Returns `None` when the set is not expressible as a
+/// range/strided set (e.g. `|a| != 1`, or CYCLIC(k) blocks) — the caller
+/// must then emit a runtime ownership guard instead of shrinking bounds.
+pub fn shrink_bounds(
+    dist: DistFormat,
+    nprocs: usize,
+    t_lo: i64,
+    t_extent: i64,
+    coord: usize,
+    a: i64,
+    b: i64,
+    loop_lo: i64,
+    loop_hi: i64,
+) -> Option<IterSet> {
+    if loop_lo > loop_hi {
+        return Some(IterSet::Empty);
+    }
+    match dist {
+        DistFormat::Collapsed => Some(IterSet::All),
+        DistFormat::Block => {
+            let (p0, p1) = crate::mapping::block_range(t_extent, nprocs, coord);
+            if p0 > p1 {
+                return Some(IterSet::Empty);
+            }
+            // positions pos = a*i + b, pos0 = pos - t_lo in [p0, p1]
+            // => a*i in [p0 + t_lo - b, p1 + t_lo - b]
+            let lo_n = p0 + t_lo - b;
+            let hi_n = p1 + t_lo - b;
+            let (ilo, ihi) = match a {
+                1 => (lo_n, hi_n),
+                -1 => (-hi_n, -lo_n),
+                _ => return None,
+            };
+            let lo = ilo.max(loop_lo);
+            let hi = ihi.min(loop_hi);
+            Some(if lo > hi {
+                IterSet::Empty
+            } else {
+                IterSet::Range(lo, hi)
+            })
+        }
+        DistFormat::Cyclic => {
+            let np = nprocs as i64;
+            if a != 1 && a != -1 {
+                return None;
+            }
+            // owner(pos0) = pos0 mod np == coord
+            // pos0 = a*i + b - t_lo  =>  a*i ≡ coord - b + t_lo (mod np)
+            let target = (coord as i64 - b + t_lo).rem_euclid(np);
+            // i ≡ a * target (mod np) since a ∈ {1,-1} (a is its own inverse).
+            let residue = (a * target).rem_euclid(np);
+            let mut first = loop_lo + (residue - loop_lo).rem_euclid(np);
+            if first < loop_lo {
+                first += np;
+            }
+            if first > loop_hi {
+                return Some(IterSet::Empty);
+            }
+            let last = first + ((loop_hi - first) / np) * np;
+            Some(IterSet::Strided {
+                first,
+                last,
+                step: np,
+            })
+        }
+        DistFormat::BlockCyclic(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::dist_owner;
+
+    /// Brute-force cross-check of `shrink_bounds` against `dist_owner`.
+    fn check(
+        dist: DistFormat,
+        nprocs: usize,
+        t_lo: i64,
+        t_extent: i64,
+        a: i64,
+        b: i64,
+        lo: i64,
+        hi: i64,
+    ) {
+        for coord in 0..nprocs {
+            let set = shrink_bounds(dist, nprocs, t_lo, t_extent, coord, a, b, lo, hi);
+            let Some(set) = set else { continue };
+            for i in lo..=hi {
+                let pos0 = a * i + b - t_lo;
+                if pos0 < 0 || pos0 >= t_extent {
+                    continue; // out-of-template iterations unchecked
+                }
+                let owned = dist_owner(dist, pos0, t_extent, nprocs) == coord;
+                assert_eq!(
+                    set.contains(i),
+                    owned,
+                    "dist={:?} np={} coord={} a={} b={} i={}",
+                    dist,
+                    nprocs,
+                    coord,
+                    a,
+                    b,
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_shrinking_matches_ownership() {
+        check(DistFormat::Block, 4, 1, 16, 1, 0, 1, 16);
+        check(DistFormat::Block, 4, 1, 16, 1, 1, 1, 15); // A(i+1)
+        check(DistFormat::Block, 3, 1, 10, 1, -1, 2, 10); // A(i-1)
+        check(DistFormat::Block, 4, 1, 16, -1, 17, 1, 16); // A(17-i)
+    }
+
+    #[test]
+    fn cyclic_shrinking_matches_ownership() {
+        check(DistFormat::Cyclic, 4, 1, 16, 1, 0, 1, 16);
+        check(DistFormat::Cyclic, 3, 1, 17, 1, 2, 1, 15);
+        check(DistFormat::Cyclic, 4, 1, 16, -1, 17, 1, 16);
+    }
+
+    #[test]
+    fn unsupported_forms_return_none() {
+        assert!(shrink_bounds(DistFormat::Block, 4, 1, 16, 0, 2, 0, 1, 16).is_none());
+        assert!(shrink_bounds(DistFormat::BlockCyclic(2), 4, 1, 16, 0, 1, 0, 1, 16).is_none());
+    }
+
+    #[test]
+    fn counts_and_iteration() {
+        let s = IterSet::Strided {
+            first: 2,
+            last: 14,
+            step: 4,
+        };
+        assert_eq!(s.count(100), 4);
+        assert_eq!(s.iter(1, 16).collect::<Vec<_>>(), vec![2, 6, 10, 14]);
+        let r = IterSet::Range(3, 7);
+        assert_eq!(r.count(100), 5);
+        assert!(r.contains(3) && r.contains(7) && !r.contains(8));
+        assert_eq!(IterSet::Empty.count(10), 0);
+        assert_eq!(IterSet::All.count(10), 10);
+    }
+
+    #[test]
+    fn empty_loop() {
+        assert_eq!(
+            shrink_bounds(DistFormat::Block, 4, 1, 16, 0, 1, 0, 5, 4),
+            Some(IterSet::Empty)
+        );
+    }
+}

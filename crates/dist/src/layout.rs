@@ -1,0 +1,263 @@
+//! Per-processor data extents: how many elements of an array a processor
+//! owns, and aggregate balance statistics.
+//!
+//! The threaded SPMD runtime stores whole arrays per processor for
+//! simplicity (correctness is policed by ownership and explicit
+//! communication); this module supplies the *accounting* view — owned
+//! element counts drive the computation-time model, and the balance report
+//! feeds the experiment write-ups.
+
+use crate::grid::ProcGrid;
+use crate::mapping::{ArrayMapping, GridCoord, GridDimRule};
+use hpf_ir::ArrayShape;
+
+/// Number of elements of `shape` owned by processor `pid` under `mapping`.
+/// Replicated and privatized dimensions count fully (each copy holds all of
+/// them).
+pub fn owned_count(mapping: &ArrayMapping, grid: &ProcGrid, shape: &ArrayShape, pid: usize) -> i64 {
+    let coords = grid.coords_of(pid);
+    let mut count: i64 = 1;
+    let mut counted_dims = vec![false; shape.rank()];
+    for (g, rule) in mapping.rules.iter().enumerate() {
+        match rule {
+            GridDimRule::ByDim {
+                array_dim,
+                dist,
+                stride,
+                offset,
+                t_lo,
+                t_extent,
+            } => {
+                let (lo, hi) = shape.dims[*array_dim];
+                let mut c = 0i64;
+                for idx in lo..=hi {
+                    let pos0 = stride * idx + offset - t_lo;
+                    if pos0 >= 0
+                        && pos0 < *t_extent
+                        && crate::mapping::dist_owner(*dist, pos0, *t_extent, grid.extent(g))
+                            == coords[g]
+                    {
+                        c += 1;
+                    }
+                }
+                count *= c;
+                counted_dims[*array_dim] = true;
+            }
+            GridDimRule::Fixed(c) => {
+                if coords[g] != *c {
+                    return 0;
+                }
+            }
+            GridDimRule::Replicated | GridDimRule::Private => {}
+        }
+    }
+    for (d, &done) in counted_dims.iter().enumerate() {
+        if !done {
+            count *= shape.extent(d);
+        }
+    }
+    count
+}
+
+/// True when `pid` owns (a copy of) the element.
+pub fn owns(
+    mapping: &ArrayMapping,
+    grid: &ProcGrid,
+    pid: usize,
+    idx: &[i64],
+) -> bool {
+    mapping.owner_on(grid, idx).contains_pid(grid, pid)
+}
+
+/// Load-balance summary over all processors for one array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceReport {
+    pub min: i64,
+    pub max: i64,
+    pub mean: f64,
+    pub total_copies: i64,
+}
+
+pub fn balance(mapping: &ArrayMapping, grid: &ProcGrid, shape: &ArrayShape) -> BalanceReport {
+    let counts: Vec<i64> = grid
+        .pids()
+        .map(|p| owned_count(mapping, grid, shape, p))
+        .collect();
+    let total: i64 = counts.iter().sum();
+    BalanceReport {
+        min: *counts.iter().min().unwrap(),
+        max: *counts.iter().max().unwrap(),
+        mean: total as f64 / counts.len() as f64,
+        total_copies: total,
+    }
+}
+
+/// Memory blow-up factor versus a single copy of the array: 1.0 for a pure
+/// distribution, `P` for full replication.
+pub fn replication_factor(
+    mapping: &ArrayMapping,
+    grid: &ProcGrid,
+    shape: &ArrayShape,
+) -> f64 {
+    balance(mapping, grid, shape).total_copies as f64 / shape.len() as f64
+}
+
+/// Owner pids of a whole rectangular region (union over elements) — used
+/// by the communication classifier for region transfers.
+pub fn region_owners(
+    mapping: &ArrayMapping,
+    grid: &ProcGrid,
+    region: &[(i64, i64)],
+) -> Vec<usize> {
+    let mut pids: Vec<usize> = Vec::new();
+    // Enumerate region lattice (regions in the kernels are small in the
+    // distributed dims; callers keep this bounded).
+    let mut idx: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
+    loop {
+        let own = mapping.owner_on(grid, &idx);
+        for p in own.pids(grid) {
+            if !pids.contains(&p) {
+                pids.push(p);
+            }
+        }
+        // Advance odometer.
+        let mut d = 0;
+        loop {
+            if d == idx.len() {
+                pids.sort_unstable();
+                return pids;
+            }
+            idx[d] += 1;
+            if idx[d] <= region[d].1 {
+                break;
+            }
+            idx[d] = region[d].0;
+            d += 1;
+        }
+    }
+}
+
+/// Do all elements of the region share a single owner set?
+pub fn region_single_owner(
+    mapping: &ArrayMapping,
+    grid: &ProcGrid,
+    region: &[(i64, i64)],
+) -> Option<usize> {
+    let owners = region_owners(mapping, grid, region);
+    if owners.len() == 1 {
+        Some(owners[0])
+    } else {
+        // A replicated array reports all pids; treat "everyone" as no
+        // single owner unless the grid is trivial.
+        None
+    }
+}
+
+pub use crate::mapping::GridCoord as Coord;
+
+/// Convenience: is the owner set of `idx` a single processor (fully
+/// determined coordinates)?
+pub fn unique_owner(
+    mapping: &ArrayMapping,
+    grid: &ProcGrid,
+    idx: &[i64],
+) -> Option<usize> {
+    let o = mapping.owner_on(grid, idx);
+    if o.per_dim.iter().all(|c| matches!(c, GridCoord::At(_))) {
+        o.single(grid)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingTable;
+    use hpf_ir::parse_program;
+
+    fn setup(src: &str) -> (hpf_ir::Program, MappingTable) {
+        let p = parse_program(src).unwrap();
+        let t = MappingTable::from_program(&p, None).unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn block_counts_balanced() {
+        let (p, t) = setup(
+            "!HPF$ PROCESSORS P(4)\n!HPF$ DISTRIBUTE (BLOCK) :: A\nREAL A(16)\n",
+        );
+        let a = p.vars.lookup("a").unwrap();
+        let shape = p.vars.info(a).shape().unwrap();
+        let rep = balance(t.of(a), &t.grid, shape);
+        assert_eq!(rep.min, 4);
+        assert_eq!(rep.max, 4);
+        assert_eq!(rep.total_copies, 16);
+        assert!((replication_factor(t.of(a), &t.grid, shape) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicated_blowup() {
+        let (p, t) = setup("!HPF$ PROCESSORS P(4)\nREAL E(8)\n");
+        let e = p.vars.lookup("e").unwrap();
+        let shape = p.vars.info(e).shape().unwrap();
+        assert!((replication_factor(t.of(e), &t.grid, shape) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ownership_consistency() {
+        let (p, t) = setup(
+            "!HPF$ PROCESSORS P(3)\n!HPF$ DISTRIBUTE (CYCLIC) :: A\nREAL A(10)\n",
+        );
+        let a = p.vars.lookup("a").unwrap();
+        // Every element owned by exactly one pid.
+        for i in 1..=10i64 {
+            let owners: Vec<usize> = t
+                .grid
+                .pids()
+                .filter(|&pid| owns(t.of(a), &t.grid, pid, &[i]))
+                .collect();
+            assert_eq!(owners.len(), 1);
+            assert_eq!(Some(owners[0]), unique_owner(t.of(a), &t.grid, &[i]));
+        }
+    }
+
+    #[test]
+    fn region_owner_queries() {
+        let (p, t) = setup(
+            "!HPF$ PROCESSORS P(4)\n!HPF$ DISTRIBUTE (*, BLOCK) :: A\nREAL A(8,16)\n",
+        );
+        let a = p.vars.lookup("a").unwrap();
+        // A column region lives on one processor.
+        assert_eq!(
+            region_single_owner(t.of(a), &t.grid, &[(1, 8), (2, 2)]),
+            Some(0)
+        );
+        // A row region spans all processors.
+        assert_eq!(
+            region_owners(t.of(a), &t.grid, &[(1, 1), (1, 16)]),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn fixed_dim_excludes_other_coords() {
+        let (p, t) = setup(
+            "!HPF$ PROCESSORS P(2,2)\n!HPF$ DISTRIBUTE (BLOCK,*) :: H\nREAL H(8,8)\n",
+        );
+        let h = p.vars.lookup("h").unwrap();
+        let shape = p.vars.info(h).shape().unwrap();
+        // Only coords with second grid dim == 0 own anything.
+        let mut total = 0;
+        for pid in t.grid.pids() {
+            let c = owned_count(t.of(h), &t.grid, shape, pid);
+            if t.grid.coords_of(pid)[1] == 0 {
+                assert_eq!(c, 32);
+            } else {
+                assert_eq!(c, 0);
+            }
+            total += c;
+        }
+        assert_eq!(total, 64);
+    }
+}

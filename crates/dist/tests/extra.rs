@@ -1,0 +1,163 @@
+//! Additional hpf-dist coverage: alignment chains, owner-set algebra,
+//! shrink-bounds corner cases, balance accounting.
+
+use hpf_dist::{
+    dist_owner, shrink_bounds, ArrayMapping, GridCoord, GridDimRule, IterSet, MappingTable,
+    OwnerSet, ProcGrid,
+};
+use hpf_ir::{parse_program, DistFormat};
+
+#[test]
+fn alignment_chain_resolves_transitively() {
+    // C aligned with B aligned with A (distributed): C inherits A's rules
+    // with composed offsets.
+    let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+!HPF$ ALIGN B(i) WITH A(i+1)
+!HPF$ ALIGN C(i) WITH B(i+1)
+REAL A(16), B(15), C(14)
+"#;
+    let p = parse_program(src).unwrap();
+    let t = MappingTable::from_program(&p, None).unwrap();
+    let c = p.vars.lookup("c").unwrap();
+    let a = p.vars.lookup("a").unwrap();
+    // C(i) lives where A(i+2) lives.
+    for i in 1..=14i64 {
+        assert_eq!(
+            t.of(c).owner_on(&t.grid, &[i]).single(&t.grid),
+            t.of(a).owner_on(&t.grid, &[i + 2]).single(&t.grid),
+            "i={}",
+            i
+        );
+    }
+}
+
+#[test]
+fn owner_set_algebra() {
+    let grid = ProcGrid::new(vec![2, 3]);
+    let o = OwnerSet {
+        per_dim: vec![GridCoord::At(1), GridCoord::Any],
+    };
+    assert_eq!(o.pids(&grid), vec![3, 4, 5]);
+    assert!(o.contains(&[1, 2]));
+    assert!(!o.contains(&[0, 2]));
+    assert!(o.single(&grid).is_none());
+    assert!(!o.is_everyone());
+    let all = OwnerSet {
+        per_dim: vec![GridCoord::Any, GridCoord::Any],
+    };
+    assert!(all.is_everyone());
+    assert_eq!(all.pids(&grid).len(), 6);
+}
+
+#[test]
+fn mapping_private_dims_reported() {
+    let m = ArrayMapping {
+        array: hpf_ir::VarId(0),
+        rules: vec![
+            GridDimRule::Private,
+            GridDimRule::ByDim {
+                array_dim: 0,
+                dist: DistFormat::Block,
+                stride: 1,
+                offset: 0,
+                t_lo: 1,
+                t_extent: 8,
+            },
+        ],
+    };
+    assert_eq!(m.private_dims(), vec![0]);
+    assert!(m.is_distributed());
+    assert!(!m.is_fully_replicated());
+    assert_eq!(m.grid_dim_of_array_dim(0), Some(1));
+    assert_eq!(m.array_dim_of_grid_dim(1), Some(0));
+    assert_eq!(m.array_dim_of_grid_dim(0), None);
+}
+
+#[test]
+fn shrink_bounds_degenerate_cases() {
+    // Single processor: everything belongs to coordinate 0.
+    let s = shrink_bounds(DistFormat::Block, 1, 1, 16, 0, 1, 0, 1, 16).unwrap();
+    assert_eq!(s, IterSet::Range(1, 16));
+    // Collapsed: all iterations.
+    let s = shrink_bounds(DistFormat::Collapsed, 4, 1, 16, 2, 1, 0, 1, 16).unwrap();
+    assert_eq!(s, IterSet::All);
+    // Coordinate beyond the data (block 4, coord 3, extent 10 -> owns
+    // positions 12..15 which don't exist for a 10-extent template... block
+    // of 10 over 4 = 3: coord 3 owns 9..9).
+    let s = shrink_bounds(DistFormat::Block, 4, 1, 10, 3, 1, 0, 1, 10).unwrap();
+    assert_eq!(s, IterSet::Range(10, 10));
+}
+
+#[test]
+fn cyclic_owner_wraps_offsets() {
+    // Negative offsets keep the modulo in range.
+    for b in -5i64..6 {
+        for coord in 0..3usize {
+            let set =
+                shrink_bounds(DistFormat::Cyclic, 3, 1, 40, coord, 1, b, 6, 30).unwrap();
+            for i in 6..=30i64 {
+                let pos0 = i + b - 1;
+                if !(0..40).contains(&pos0) {
+                    continue;
+                }
+                assert_eq!(
+                    set.contains(i),
+                    dist_owner(DistFormat::Cyclic, pos0, 40, 3) == coord,
+                    "b={} coord={} i={}",
+                    b,
+                    coord,
+                    i
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replication_factor_of_partial_mapping() {
+    // A privatized dimension multiplies storage like replication does.
+    let src = r#"
+!HPF$ PROCESSORS P(2,2)
+!HPF$ DISTRIBUTE (BLOCK, *) :: W
+REAL W(8,8)
+"#;
+    let p = parse_program(src).unwrap();
+    let t = MappingTable::from_program(&p, None).unwrap();
+    let w = p.vars.lookup("w").unwrap();
+    let mut m = t.of(w).clone();
+    // Make the second grid dim private: each of the 2 coords keeps a copy.
+    m.rules[1] = GridDimRule::Private;
+    let shape = p.vars.info(w).shape().unwrap();
+    let f = hpf_dist::layout::replication_factor(&m, &t.grid, shape);
+    assert!((f - 2.0).abs() < 1e-12, "factor {}", f);
+}
+
+#[test]
+fn grid_pids_with_coord_3d() {
+    let g = ProcGrid::new(vec![2, 2, 2]);
+    assert_eq!(g.total(), 8);
+    let slice = g.pids_with_coord(1, 1);
+    assert_eq!(slice.len(), 4);
+    for pid in slice {
+        assert_eq!(g.coords_of(pid)[1], 1);
+    }
+}
+
+#[test]
+fn distribute_onto_larger_grid_fixes_extra_dims() {
+    // One distributed dim on a 2-D grid: remaining grid dim pinned to 0.
+    let src = r#"
+!HPF$ PROCESSORS P(2,2)
+!HPF$ DISTRIBUTE (BLOCK) :: V
+REAL V(8)
+"#;
+    let p = parse_program(src).unwrap();
+    let t = MappingTable::from_program(&p, None).unwrap();
+    let v = p.vars.lookup("v").unwrap();
+    let own = t.of(v).owner_on(&t.grid, &[5]);
+    let pids = own.pids(&t.grid);
+    assert_eq!(pids.len(), 1);
+    assert_eq!(t.grid.coords_of(pids[0])[1], 0);
+}

@@ -1,0 +1,317 @@
+//! A programmatic builder for [`Program`]s.
+//!
+//! The benchmark kernels construct their IR through this API; closures are
+//! used for block structure:
+//!
+//! ```
+//! use hpf_ir::{ProgramBuilder, Expr, DistFormat};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let a = b.real_array("A", &[16]);
+//! let i = b.int_scalar("i");
+//! b.processors("P", &[4]);
+//! b.distribute(a, vec![DistFormat::Block]);
+//! b.do_loop(i, Expr::int(1), Expr::int(15), |b| {
+//!     b.assign_array(a, vec![Expr::scalar(i).add(Expr::int(1))],
+//!                    Expr::array(a, vec![Expr::scalar(i)]).mul(Expr::real(2.0)));
+//! });
+//! let program = b.finish();
+//! assert!(program.validate().is_empty());
+//! ```
+
+use crate::directives::{
+    AlignDim, AlignDirective, DistFormat, DistributeDirective, ProcGridDecl,
+};
+use crate::expr::{ArrayRef, Expr};
+use crate::program::{Program, VarId};
+use crate::stmt::{LValue, Label, Stmt, StmtId};
+use crate::types::{ArrayShape, ScalarTy, VarInfo};
+
+/// Builder for [`Program`]. See the module docs for usage.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    /// Stack of open statement blocks; index 0 is the program body.
+    blocks: Vec<Vec<StmtId>>,
+}
+
+impl ProgramBuilder {
+    pub fn new() -> Self {
+        ProgramBuilder {
+            program: Program::new(),
+            blocks: vec![Vec::new()],
+        }
+    }
+
+    // ---- declarations ------------------------------------------------
+
+    pub fn scalar(&mut self, name: &str, ty: ScalarTy) -> VarId {
+        self.program.vars.declare(VarInfo::scalar(name, ty))
+    }
+
+    pub fn int_scalar(&mut self, name: &str) -> VarId {
+        self.scalar(name, ScalarTy::Int)
+    }
+
+    pub fn real_scalar(&mut self, name: &str) -> VarId {
+        self.scalar(name, ScalarTy::Real)
+    }
+
+    pub fn bool_scalar(&mut self, name: &str) -> VarId {
+        self.scalar(name, ScalarTy::Bool)
+    }
+
+    pub fn array(&mut self, name: &str, ty: ScalarTy, extents: &[i64]) -> VarId {
+        self.program
+            .vars
+            .declare(VarInfo::array(name, ty, ArrayShape::of_extents(extents)))
+    }
+
+    pub fn real_array(&mut self, name: &str, extents: &[i64]) -> VarId {
+        self.array(name, ScalarTy::Real, extents)
+    }
+
+    pub fn int_array(&mut self, name: &str, extents: &[i64]) -> VarId {
+        self.array(name, ScalarTy::Int, extents)
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.program.vars.lookup(name)
+    }
+
+    // ---- directives ----------------------------------------------------
+
+    pub fn processors(&mut self, name: &str, dims: &[usize]) {
+        self.program.directives.grid = Some(ProcGridDecl::new(name, dims.to_vec()));
+    }
+
+    pub fn distribute(&mut self, array: VarId, formats: Vec<DistFormat>) {
+        assert_eq!(
+            formats.len(),
+            self.program.vars.info(array).rank(),
+            "DISTRIBUTE format count must match array rank"
+        );
+        self.program
+            .directives
+            .distributes
+            .push(DistributeDirective { array, formats });
+    }
+
+    pub fn align(&mut self, alignee: VarId, target: VarId, dims: Vec<AlignDim>) {
+        self.program.directives.aligns.push(AlignDirective {
+            alignee,
+            target,
+            dims,
+        });
+    }
+
+    pub fn align_identity(&mut self, alignee: VarId, target: VarId) {
+        let rank = self.program.vars.info(alignee).rank().max(1);
+        self.program
+            .directives
+            .aligns
+            .push(AlignDirective::identity(alignee, target, rank));
+    }
+
+    /// Attach `INDEPENDENT, NEW(new_vars)` to a loop built earlier.
+    pub fn independent(&mut self, loop_id: StmtId, new_vars: Vec<VarId>) {
+        let info = self
+            .program
+            .directives
+            .independents
+            .entry(loop_id)
+            .or_default();
+        info.independent = true;
+        info.new_vars.extend(new_vars);
+    }
+
+    /// Attach the weaker "no value-based loop-carried dependences" assertion.
+    pub fn no_value_deps(&mut self, loop_id: StmtId) {
+        let info = self
+            .program
+            .directives
+            .independents
+            .entry(loop_id)
+            .or_default();
+        info.no_value_deps = true;
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn push(&mut self, stmt: Stmt) -> StmtId {
+        let id = self.program.add_stmt(stmt);
+        self.blocks
+            .last_mut()
+            .expect("builder block stack is never empty")
+            .push(id);
+        id
+    }
+
+    pub fn assign(&mut self, lhs: LValue, rhs: Expr) -> StmtId {
+        self.push(Stmt::Assign { lhs, rhs })
+    }
+
+    pub fn assign_scalar(&mut self, var: VarId, rhs: Expr) -> StmtId {
+        self.assign(LValue::Scalar(var), rhs)
+    }
+
+    pub fn assign_array(&mut self, array: VarId, subs: Vec<Expr>, rhs: Expr) -> StmtId {
+        self.assign(LValue::Array(ArrayRef::new(array, subs)), rhs)
+    }
+
+    /// `DO var = lo, hi` with unit step.
+    pub fn do_loop(
+        &mut self,
+        var: VarId,
+        lo: Expr,
+        hi: Expr,
+        f: impl FnOnce(&mut Self),
+    ) -> StmtId {
+        self.do_loop_step(var, lo, hi, Expr::int(1), f)
+    }
+
+    pub fn do_loop_step(
+        &mut self,
+        var: VarId,
+        lo: Expr,
+        hi: Expr,
+        step: Expr,
+        f: impl FnOnce(&mut Self),
+    ) -> StmtId {
+        self.blocks.push(Vec::new());
+        f(self);
+        let body = self.blocks.pop().unwrap();
+        self.push(Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        })
+    }
+
+    pub fn if_then(&mut self, cond: Expr, f: impl FnOnce(&mut Self)) -> StmtId {
+        self.blocks.push(Vec::new());
+        f(self);
+        let then_body = self.blocks.pop().unwrap();
+        self.push(Stmt::If {
+            cond,
+            then_body,
+            else_body: vec![],
+        })
+    }
+
+    pub fn if_then_else(
+        &mut self,
+        cond: Expr,
+        f_then: impl FnOnce(&mut Self),
+        f_else: impl FnOnce(&mut Self),
+    ) -> StmtId {
+        self.blocks.push(Vec::new());
+        f_then(self);
+        let then_body = self.blocks.pop().unwrap();
+        self.blocks.push(Vec::new());
+        f_else(self);
+        let else_body = self.blocks.pop().unwrap();
+        self.push(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    pub fn goto(&mut self, label: u32) -> StmtId {
+        self.push(Stmt::Goto(Label(label)))
+    }
+
+    /// A labelled `CONTINUE` statement (GOTO target).
+    pub fn continue_label(&mut self, label: u32) -> StmtId {
+        let id = self.push(Stmt::Continue);
+        self.program.set_label(id, Label(label));
+        id
+    }
+
+    /// Attach a numeric label to an already-built statement.
+    pub fn label_stmt(&mut self, id: StmtId, label: u32) {
+        self.program.set_label(id, Label(label));
+    }
+
+    // ---- finish ----------------------------------------------------------
+
+    /// Seal the program: install the body, rebuild parent links and assert
+    /// structural validity.
+    pub fn finish(mut self) -> Program {
+        assert_eq!(self.blocks.len(), 1, "unclosed block in builder");
+        self.program.body = self.blocks.pop().unwrap();
+        self.program.rebuild_topology();
+        let errs = self.program.validate();
+        assert!(errs.is_empty(), "invalid program: {:?}", errs);
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_nested_loops() {
+        let mut b = ProgramBuilder::new();
+        let a = b.real_array("A", &[10, 10]);
+        let i = b.int_scalar("i");
+        let j = b.int_scalar("j");
+        let outer = b.do_loop(i, Expr::int(1), Expr::int(10), |b| {
+            b.do_loop(j, Expr::int(1), Expr::int(10), |b| {
+                b.assign_array(
+                    a,
+                    vec![Expr::scalar(i), Expr::scalar(j)],
+                    Expr::real(0.0),
+                );
+            });
+        });
+        let p = b.finish();
+        assert_eq!(p.body, vec![outer]);
+        assert_eq!(p.preorder().len(), 3);
+        assert!(p.validate().is_empty());
+    }
+
+    #[test]
+    fn directives_round_trip() {
+        let mut b = ProgramBuilder::new();
+        let a = b.real_array("A", &[8]);
+        let c = b.real_array("C", &[8]);
+        let i = b.int_scalar("i");
+        b.processors("P", &[4]);
+        b.distribute(a, vec![DistFormat::Block]);
+        b.align_identity(c, a);
+        let lp = b.do_loop(i, Expr::int(1), Expr::int(8), |b| {
+            b.assign_array(a, vec![Expr::scalar(i)], Expr::real(1.0));
+        });
+        b.independent(lp, vec![]);
+        let p = b.finish();
+        assert!(p.directives.grid.is_some());
+        assert!(p.directives.distribute_of(a).is_some());
+        assert_eq!(p.directives.align_of(c).unwrap().target, a);
+        assert!(p.directives.independent_of(lp).unwrap().independent);
+    }
+
+    #[test]
+    #[should_panic(expected = "DISTRIBUTE format count")]
+    fn distribute_rank_mismatch_panics() {
+        let mut b = ProgramBuilder::new();
+        let a = b.real_array("A", &[8, 8]);
+        b.distribute(a, vec![DistFormat::Block]);
+    }
+
+    #[test]
+    fn goto_and_labels() {
+        let mut b = ProgramBuilder::new();
+        let i = b.int_scalar("i");
+        b.do_loop(i, Expr::int(1), Expr::int(3), |b| {
+            b.goto(100);
+            b.continue_label(100);
+        });
+        let p = b.finish();
+        assert!(p.validate().is_empty());
+    }
+}

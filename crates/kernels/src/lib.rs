@@ -1,0 +1,14 @@
+//! # hpf-kernels
+//!
+//! The paper's three benchmark programs expressed in the mini-HPF IR,
+//! each parameterized by problem size and processor count, with
+//! plain-Rust sequential reference implementations used to validate the
+//! whole stack (IR interpreter → SPMD executor → threaded replay).
+//!
+//! * [`tomcatv`] — SPEC92FP mesh generation (Table 1);
+//! * [`dgefa`] — LINPACK LU with partial pivoting (Table 2);
+//! * [`appsp`] — NAS SP sweep skeleton, 1-D and 2-D variants (Table 3).
+
+pub mod appsp;
+pub mod dgefa;
+pub mod tomcatv;

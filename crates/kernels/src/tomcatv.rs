@@ -1,0 +1,174 @@
+//! TOMCATV — mesh generation with Thompson's solver (SPEC92FP), the
+//! paper's first benchmark (Table 1).
+//!
+//! The kernel reproduced here is TOMCATV's main computational loop nest:
+//! the residual computation with its battery of privatizable scalars
+//! (`xx, yx, xy, yy, a, b, c`, the second differences) followed by the
+//! mesh update, iterated `niter` times. This nest is where the paper's
+//! three scalar-mapping policies diverge:
+//!
+//! * **replication** broadcasts the X/Y sections to every processor and
+//!   executes every statement everywhere;
+//! * **producer alignment** pins scalars such as `xy = X(i,j+1)-X(i,j-1)`
+//!   to the owner of a *neighbouring column*, so the consumers
+//!   `RX(i,j) = a*pxx + ...` pay a per-iteration scalar message;
+//! * **selected alignment** aligns the scalars with their consumers,
+//!   turning all X/Y traffic into collective shifts vectorized out of
+//!   the `i`/`j` loops.
+//!
+//! Arrays use the paper's `(*, BLOCK)` column distribution.
+
+use hpf_ir::{parse_program, Program};
+
+/// Generate the TOMCATV kernel as mini-HPF source.
+pub fn source(n: i64, nprocs: usize, niter: i64) -> String {
+    format!(
+        r#"
+!HPF$ PROCESSORS P({nprocs})
+!HPF$ DISTRIBUTE (*, BLOCK) :: X, Y, RX, RY
+REAL X({n},{n}), Y({n},{n}), RX({n},{n}), RY({n},{n})
+INTEGER i, j, it
+REAL xx, yx, xy, yy, a, b, c
+REAL pxx, qxx, pyy, qyy, pxy, qxy
+DO it = 1, {niter}
+  DO j = 2, {nm1}
+    DO i = 2, {nm1}
+      xx = X(i+1,j) - X(i-1,j)
+      yx = Y(i+1,j) - Y(i-1,j)
+      xy = X(i,j+1) - X(i,j-1)
+      yy = Y(i,j+1) - Y(i,j-1)
+      a = 0.25 * (xy*xy + yy*yy)
+      b = 0.25 * (xx*xx + yx*yx)
+      c = 0.125 * (xx*xy + yx*yy)
+      pxx = X(i+1,j) - 2.0*X(i,j) + X(i-1,j)
+      qxx = Y(i+1,j) - 2.0*Y(i,j) + Y(i-1,j)
+      pyy = X(i,j+1) - 2.0*X(i,j) + X(i,j-1)
+      qyy = Y(i,j+1) - 2.0*Y(i,j) + Y(i,j-1)
+      pxy = X(i+1,j+1) - X(i+1,j-1) - X(i-1,j+1) + X(i-1,j-1)
+      qxy = Y(i+1,j+1) - Y(i+1,j-1) - Y(i-1,j+1) + Y(i-1,j-1)
+      RX(i,j) = a*pxx + b*pyy - c*pxy
+      RY(i,j) = a*qxx + b*qyy - c*qxy
+    END DO
+  END DO
+  DO j = 2, {nm1}
+    DO i = 2, {nm1}
+      X(i,j) = X(i,j) + RX(i,j) * 0.09
+      Y(i,j) = Y(i,j) + RY(i,j) * 0.09
+    END DO
+  END DO
+END DO
+"#,
+        n = n,
+        nm1 = n - 1,
+        nprocs = nprocs,
+        niter = niter,
+    )
+}
+
+/// Parse the generated kernel.
+pub fn program(n: i64, nprocs: usize, niter: i64) -> Program {
+    parse_program(&source(n, nprocs, niter)).expect("TOMCATV kernel parses")
+}
+
+/// Initial mesh: a gently distorted grid (deterministic).
+pub fn init_mesh(n: i64) -> (Vec<f64>, Vec<f64>) {
+    let n = n as usize;
+    let mut x = vec![0.0; n * n];
+    let mut y = vec![0.0; n * n];
+    for j in 0..n {
+        for i in 0..n {
+            // Column-major (Fortran) layout.
+            let off = j * n + i;
+            let u = i as f64 / (n - 1) as f64;
+            let v = j as f64 / (n - 1) as f64;
+            x[off] = u + 0.05 * (3.1 * v).sin();
+            y[off] = v + 0.05 * (2.7 * u).cos();
+        }
+    }
+    (x, y)
+}
+
+/// Plain-Rust sequential reference of the same kernel (validates the IR
+/// interpreter, and through it the SPMD executors).
+pub fn reference(n: i64, niter: i64) -> (Vec<f64>, Vec<f64>) {
+    let (mut x, mut y) = init_mesh(n);
+    let n = n as usize;
+    let idx = |i: usize, j: usize| (j - 1) * n + (i - 1); // 1-based helpers
+    let mut rx = vec![0.0; n * n];
+    let mut ry = vec![0.0; n * n];
+    for _ in 0..niter {
+        for j in 2..n {
+            for i in 2..n {
+                let xx = x[idx(i + 1, j)] - x[idx(i - 1, j)];
+                let yx = y[idx(i + 1, j)] - y[idx(i - 1, j)];
+                let xy = x[idx(i, j + 1)] - x[idx(i, j - 1)];
+                let yy = y[idx(i, j + 1)] - y[idx(i, j - 1)];
+                let a = 0.25 * (xy * xy + yy * yy);
+                let b = 0.25 * (xx * xx + yx * yx);
+                let c = 0.125 * (xx * xy + yx * yy);
+                let pxx = x[idx(i + 1, j)] - 2.0 * x[idx(i, j)] + x[idx(i - 1, j)];
+                let qxx = y[idx(i + 1, j)] - 2.0 * y[idx(i, j)] + y[idx(i - 1, j)];
+                let pyy = x[idx(i, j + 1)] - 2.0 * x[idx(i, j)] + x[idx(i, j - 1)];
+                let qyy = y[idx(i, j + 1)] - 2.0 * y[idx(i, j)] + y[idx(i, j - 1)];
+                let pxy = x[idx(i + 1, j + 1)] - x[idx(i + 1, j - 1)] - x[idx(i - 1, j + 1)]
+                    + x[idx(i - 1, j - 1)];
+                let qxy = y[idx(i + 1, j + 1)] - y[idx(i + 1, j - 1)] - y[idx(i - 1, j + 1)]
+                    + y[idx(i - 1, j - 1)];
+                rx[idx(i, j)] = a * pxx + b * pyy - c * pxy;
+                ry[idx(i, j)] = a * qxx + b * qyy - c * qxy;
+            }
+        }
+        for j in 2..n {
+            for i in 2..n {
+                x[idx(i, j)] += rx[idx(i, j)] * 0.09;
+                y[idx(i, j)] += ry[idx(i, j)] * 0.09;
+            }
+        }
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::interp::run_program;
+
+    #[test]
+    fn kernel_parses_and_matches_reference() {
+        let n = 10i64;
+        let niter = 2i64;
+        let p = program(n, 4, niter);
+        let (x0, y0) = init_mesh(n);
+        let (mem, _) = run_program(&p, |m| {
+            m.fill_real(p.vars.lookup("x").unwrap(), &x0);
+            m.fill_real(p.vars.lookup("y").unwrap(), &y0);
+        })
+        .unwrap();
+        let (xr, yr) = reference(n, niter);
+        let xs = mem.real_slice(p.vars.lookup("x").unwrap());
+        let ys = mem.real_slice(p.vars.lookup("y").unwrap());
+        for (a, b) in xs.iter().zip(&xr) {
+            assert!((a - b).abs() < 1e-10, "{} vs {}", a, b);
+        }
+        for (a, b) in ys.iter().zip(&yr) {
+            assert!((a - b).abs() < 1e-10, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn scalars_privatizable() {
+        let p = program(12, 4, 1);
+        let a = hpf_analysis::Analysis::run(&p);
+        let mut pc = a.priv_check();
+        for name in ["xx", "xy", "a", "b", "c", "pxy"] {
+            let v = p.vars.lookup(name).unwrap();
+            let def = hpf_ir::visit::defs_of(&p, v)[0];
+            let l = *p.enclosing_loops(def).last().unwrap();
+            assert!(
+                pc.scalar_privatizable(l, def).without_copy_out(),
+                "{} privatizable",
+                name
+            );
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Global message combining across loop nests.
+//!
+//! The paper's APPSP discussion ends: "An examination of the
+//! message-passing code produced by the HPF compiler showed that there is
+//! considerable scope for improving the performance of that version by
+//! global message combining across loop nests. The phpf compiler does not
+//! currently perform that optimization." This module performs it: placed
+//! communication operations that move the *same data* along the *same
+//! pattern* at the *same point in the loop structure* are merged into one
+//! message, eliminating redundant startups (TOMCATV's residual nest reads
+//! `X(i+1,j)` in several statements; only one shift of the boundary
+//! column is needed).
+//!
+//! Two operations combine when they
+//! 1. have the same pattern, placement level and element size,
+//! 2. sit under the same enclosing loop at the placement level (their
+//!    hoisted messages are issued at the same program point), and
+//! 3. move the same array through subscripts with identical affine views
+//!    (same data), or the same scalar.
+
+use crate::lower::{CommData, CommOp, SpmdProgram};
+use hpf_analysis::Analysis;
+use hpf_ir::{Affine, Program, StmtId};
+
+/// Statistics of one combining pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CombineStats {
+    pub before: usize,
+    pub after: usize,
+}
+
+impl CombineStats {
+    pub fn eliminated(&self) -> usize {
+        self.before - self.after
+    }
+}
+
+/// Merge redundant communication operations in place.
+pub fn combine_messages(sp: &mut SpmdProgram, a: &Analysis<'_>) -> CombineStats {
+    let before = sp.comms.len();
+    let p = &sp.program;
+    let mut kept: Vec<CommOp> = Vec::new();
+    'outer: for op in sp.comms.drain(..) {
+        for k in &kept {
+            if same_message(p, a, k, &op) {
+                continue 'outer;
+            }
+        }
+        kept.push(op);
+    }
+    sp.comms = kept;
+    CombineStats {
+        before,
+        after: sp.comms.len(),
+    }
+}
+
+fn same_message(p: &Program, a: &Analysis<'_>, x: &CommOp, y: &CommOp) -> bool {
+    if x.pattern != y.pattern
+        || x.level != y.level
+        || x.stmt_level != y.stmt_level
+        || x.elem_bytes != y.elem_bytes
+    {
+        return false;
+    }
+    // Same issue point: same enclosing loop at the placement level, and
+    // the same innermost loop body (messages from different nests are
+    // separated by possible intervening writes).
+    if issue_loop(p, x.stmt, x.level) != issue_loop(p, y.stmt, y.level) {
+        return false;
+    }
+    if p.enclosing_loops(x.stmt).last() != p.enclosing_loops(y.stmt).last() {
+        return false;
+    }
+    match (&x.data, &y.data) {
+        (CommData::Scalar(u), CommData::Scalar(v)) => u == v,
+        (CommData::Array(rx), CommData::Array(ry)) => {
+            if rx.array != ry.array || rx.subs.len() != ry.subs.len() {
+                return false;
+            }
+            // No intervening write to the array between the two reads.
+            if write_between(p, rx.array, x.stmt, y.stmt) {
+                return false;
+            }
+            // Same data: identical affine views of every subscript.
+            rx.subs.iter().zip(&ry.subs).all(|(sx, sy)| {
+                let ax = a.induction.affine_view(p, &a.cfg, &a.dom, x.stmt, sx);
+                let ay = a.induction.affine_view(p, &a.cfg, &a.dom, y.stmt, sy);
+                match (ax, ay) {
+                    (Some(ax), Some(ay)) => subs_equiv(&ax, &ay),
+                    _ => false,
+                }
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Any write to `array` in a statement strictly between `a` and `b` in
+/// program order?
+fn write_between(p: &Program, array: hpf_ir::VarId, a: StmtId, b: StmtId) -> bool {
+    let pre = p.preorder();
+    let pa = pre.iter().position(|&s| s == a).unwrap();
+    let pb = pre.iter().position(|&s| s == b).unwrap();
+    let (lo, hi) = (pa.min(pb), pa.max(pb));
+    if lo + 1 >= hi {
+        return false; // same or adjacent statements: nothing in between
+    }
+    pre[lo + 1..hi].iter().any(|&s| {
+        matches!(
+            p.stmt(s),
+            hpf_ir::Stmt::Assign { lhs: hpf_ir::LValue::Array(r), .. } if r.array == array
+        )
+    })
+}
+
+/// The loop whose body issues a message placed at `level` for a statement
+/// (`None` = the program body).
+fn issue_loop(p: &Program, stmt: StmtId, level: usize) -> Option<StmtId> {
+    if level == 0 {
+        return None;
+    }
+    p.enclosing_loop_at_level(stmt, level)
+}
+
+fn subs_equiv(a: &Affine, b: &Affine) -> bool {
+    a.sub(b).as_const() == Some(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_dist::MappingTable;
+    use hpf_ir::parse_program;
+    use phpf_core::CoreConfig;
+
+    fn lowered(src: &str) -> (hpf_ir::Program, SpmdProgram) {
+        let p = parse_program(src).unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let d = phpf_core::map_program(&p, &a, &maps, CoreConfig::full());
+        let sp = crate::lower::lower(&p, &a, &maps, d);
+        (p, sp)
+    }
+
+    #[test]
+    fn duplicate_stencil_reads_combine() {
+        // X(i,j+1) read by two statements: one shift suffices.
+        let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (*, BLOCK) :: X, RX, RY
+REAL X(16,16), RX(16,16), RY(16,16)
+INTEGER i, j
+DO j = 2, 15
+  DO i = 2, 15
+    RX(i,j) = X(i,j+1) * 0.5
+    RY(i,j) = X(i,j+1) * 0.25
+  END DO
+END DO
+"#;
+        let (p, mut sp) = lowered(src);
+        let a = Analysis::run(&p);
+        let before = sp.comms.len();
+        assert!(before >= 2, "two shift ops before combining: {:?}", sp.comms);
+        let stats = combine_messages(&mut sp, &a);
+        assert_eq!(stats.before, before);
+        assert!(stats.after < before, "combined: {:?}", sp.comms);
+        assert_eq!(sp.comms.len(), stats.after);
+    }
+
+    #[test]
+    fn different_offsets_do_not_combine() {
+        let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (*, BLOCK) :: X, RX
+REAL X(16,16), RX(16,16)
+INTEGER i, j
+DO j = 2, 15
+  DO i = 2, 15
+    RX(i,j) = X(i,j+1) + X(i,j-1)
+  END DO
+END DO
+"#;
+        let (p, mut sp) = lowered(src);
+        let a = Analysis::run(&p);
+        let before = sp.comms.len();
+        let stats = combine_messages(&mut sp, &a);
+        assert_eq!(stats.after, before, "j+1 and j-1 are different data");
+    }
+
+    #[test]
+    fn different_loops_do_not_combine() {
+        // Same reference shape but in two separate loop nests: the data may
+        // have changed in between.
+        let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (*, BLOCK) :: X, RX, RY
+REAL X(16,16), RX(16,16), RY(16,16)
+INTEGER i, j
+DO j = 2, 15
+  DO i = 2, 15
+    RX(i,j) = X(i,j+1)
+  END DO
+END DO
+DO j = 2, 15
+  DO i = 2, 15
+    X(i,j) = RX(i,j)
+  END DO
+END DO
+DO j = 2, 15
+  DO i = 2, 15
+    RY(i,j) = X(i,j+1)
+  END DO
+END DO
+"#;
+        let (p, mut sp) = lowered(src);
+        let a = Analysis::run(&p);
+        // Both X(i,j+1) reads hoist to level 0 — but X is written between
+        // them... placement already forbids hoisting the second read above
+        // the write? No: the write sits in a *different* loop. Both reads
+        // end up at level 0 only if legal; regardless, combining must not
+        // merge messages issued at different points (they differ at
+        // issue_loop or, at level 0, carry the same data only if X is
+        // unwritten in between — conservatively keep them distinct when
+        // levels sit inside different loops).
+        let stats = combine_messages(&mut sp, &a);
+        // The two X(i,j+1) reads must remain distinct if any write to X
+        // intervenes; our placement keeps the second read's comm below
+        // level 0 because of the flow dependence, so levels differ.
+        assert_eq!(stats.after, stats.before, "{:?}", sp.comms);
+    }
+
+    #[test]
+    fn tomcatv_combines_substantially() {
+        let src = hpf_kernels_src();
+        let (p, mut sp) = lowered(&src);
+        let a = Analysis::run(&p);
+        let stats = combine_messages(&mut sp, &a);
+        assert!(
+            stats.eliminated() >= 4,
+            "TOMCATV has many duplicate stencil reads: {} -> {}",
+            stats.before,
+            stats.after
+        );
+    }
+
+    fn hpf_kernels_src() -> String {
+        // A TOMCATV-like residual nest with repeated stencil reads.
+        r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (*, BLOCK) :: X, Y, RX, RY
+REAL X(16,16), Y(16,16), RX(16,16), RY(16,16)
+INTEGER i, j
+REAL xy, yy, pyy, qyy
+DO j = 2, 15
+  DO i = 2, 15
+    xy = X(i,j+1) - X(i,j-1)
+    yy = Y(i,j+1) - Y(i,j-1)
+    pyy = X(i,j+1) - 2.0*X(i,j) + X(i,j-1)
+    qyy = Y(i,j+1) - 2.0*Y(i,j) + Y(i,j-1)
+    RX(i,j) = xy + pyy
+    RY(i,j) = yy + qyy
+  END DO
+END DO
+"#
+        .to_string()
+    }
+}

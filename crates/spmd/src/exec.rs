@@ -1,0 +1,829 @@
+//! The reference SPMD executor: P virtual processors with separate
+//! memories, owner-computes guards, fetch-from-owner reads and reduction
+//! combines.
+//!
+//! This executor defines the *semantics* of a lowered program — every
+//! mapping configuration (including the deliberately bad ones used as
+//! baselines) must produce results identical to the sequential
+//! interpreter. Performance is modelled separately by [`crate::costsim`];
+//! the executor's message counts are exact per-element fetches (no
+//! vectorization), useful as an upper bound and for invariants, not as
+//! the timing model.
+
+use crate::guard::{resolve_owner_pid, Guard};
+use crate::lower::SpmdProgram;
+use hpf_analysis::RedOp;
+use hpf_dist::{dist_owner, GridCoord, GridDimRule, OwnerSet, ProcGrid};
+use hpf_ir::interp::{eval_binop, eval_intrinsic, ArrayStore, InterpError, Memory};
+use hpf_ir::{ArrayRef, Expr, Label, LValue, Stmt, StmtId, Value, VarId};
+use phpf_core::ScalarMapping;
+use std::collections::HashSet;
+
+/// A storage slot on one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    Scalar(VarId),
+    /// Array element by linear offset.
+    Elem(VarId, usize),
+}
+
+/// One event of a recorded execution trace (consumed by
+/// [`crate::runtime`]'s threaded replay).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Send the local value of `slot` to processor `to`.
+    Send { to: usize, slot: Slot },
+    /// Receive a value from processor `from` into `slot`.
+    Recv { from: usize, slot: Slot },
+    /// Execute an assignment locally (operands are all local by now).
+    Exec {
+        stmt: StmtId,
+        env: Vec<(VarId, i64)>,
+    },
+    /// Evaluate a (maxloc) IF locally and run its body when true.
+    CondExec {
+        stmt: StmtId,
+        env: Vec<(VarId, i64)>,
+    },
+    /// Receive a reduction partial (acc, then loc if present) onto the
+    /// value stack.
+    RecvPartial { from: usize, has_loc: bool },
+    /// Fold `count` stacked partials into the local accumulator.
+    Combine {
+        op: RedOp,
+        acc: VarId,
+        loc: Option<VarId>,
+        count: usize,
+    },
+}
+
+/// Per-processor event lists.
+pub type Trace = Vec<Vec<Event>>;
+
+/// Message statistics of an execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Element fetches that crossed processors.
+    pub messages: u64,
+    /// Bytes moved by those fetches.
+    pub bytes: u64,
+    /// Reduction combine exchanges.
+    pub combines: u64,
+    /// Statement instances executed (summed over processors).
+    pub stmt_execs: u64,
+}
+
+enum Flow {
+    Normal,
+    Goto(Label),
+}
+
+/// The executor.
+pub struct SpmdExec<'s> {
+    sp: &'s SpmdProgram,
+    grid: ProcGrid,
+    pub mems: Vec<Memory>,
+    pub stats: ExecStats,
+    steps: u64,
+    pub step_limit: u64,
+    /// When present, the execution is recorded for threaded replay.
+    pub trace: Option<Trace>,
+    /// Current loop-variable bindings (outermost first).
+    loop_env: Vec<(VarId, i64)>,
+}
+
+impl<'s> SpmdExec<'s> {
+    /// Create an executor; `init` is applied to every processor's memory
+    /// (initial data is globally known, as in the benchmark programs).
+    pub fn new(sp: &'s SpmdProgram, init: impl Fn(&mut Memory)) -> Self {
+        let grid = sp.maps.grid.clone();
+        let mems = (0..grid.total())
+            .map(|_| {
+                let mut m = Memory::zeroed(&sp.program);
+                init(&mut m);
+                m
+            })
+            .collect();
+        SpmdExec {
+            sp,
+            grid,
+            mems,
+            stats: ExecStats::default(),
+            steps: 0,
+            step_limit: 2_000_000_000,
+            trace: None,
+            loop_env: Vec::new(),
+        }
+    }
+
+    /// Enable trace recording (one event list per processor).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(vec![Vec::new(); self.grid.total()]);
+        self
+    }
+
+    fn record(&mut self, pid: usize, ev: Event) {
+        if let Some(t) = &mut self.trace {
+            t[pid].push(ev);
+        }
+    }
+
+    fn record_fetch(&mut self, src: usize, dst: usize, slot: Slot) {
+        if self.trace.is_some() {
+            self.record(src, Event::Send { to: dst, slot });
+            self.record(dst, Event::Recv { from: src, slot });
+        }
+    }
+
+    /// Run to completion.
+    pub fn run(&mut self) -> Result<ExecStats, InterpError> {
+        let body = self.sp.program.body.clone();
+        match self.exec_block(&body)? {
+            Flow::Normal => Ok(self.stats),
+            Flow::Goto(l) => Err(InterpError::UnresolvedGoto(l.0)),
+        }
+    }
+
+    fn p(&self) -> &hpf_ir::Program {
+        &self.sp.program
+    }
+
+    fn exec_block(&mut self, block: &[StmtId]) -> Result<Flow, InterpError> {
+        let mut idx = 0;
+        while idx < block.len() {
+            match self.exec_stmt(block[idx])? {
+                Flow::Normal => idx += 1,
+                Flow::Goto(l) => {
+                    match block
+                        .iter()
+                        .position(|&s| self.p().node(s).label == Some(l))
+                    {
+                        Some(pos) => idx = pos,
+                        None => return Ok(Flow::Goto(l)),
+                    }
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: StmtId) -> Result<Flow, InterpError> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            return Err(InterpError::StepLimit);
+        }
+        match self.p().stmt(s).clone() {
+            Stmt::Assign { lhs, rhs } => {
+                let executors = self.guard_pids(s)?;
+                self.stats.stmt_execs += executors.len() as u64;
+                for q in executors {
+                    let val = self.eval(&rhs, q, &HashSet::new())?;
+                    self.store(q, &lhs, val)?;
+                    let env = self.loop_env.clone();
+                    self.record(q, Event::Exec { stmt: s, env });
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let lo = self.eval(&lo, 0, &HashSet::new())?.as_int()?;
+                let hi = self.eval(&hi, 0, &HashSet::new())?.as_int()?;
+                let st = self.eval(&step, 0, &HashSet::new())?.as_int()?;
+                if st == 0 {
+                    return Err(InterpError::DivisionByZero);
+                }
+                let mut i = lo;
+                let mut out = Flow::Normal;
+                self.loop_env.push((var, lo));
+                while (st > 0 && i <= hi) || (st < 0 && i >= hi) {
+                    for m in &mut self.mems {
+                        m.set_scalar(var, Value::Int(i));
+                    }
+                    self.loop_env.last_mut().unwrap().1 = i;
+                    match self.exec_block(&body)? {
+                        Flow::Normal => {}
+                        Flow::Goto(l) => {
+                            out = Flow::Goto(l);
+                            break;
+                        }
+                    }
+                    i += st;
+                }
+                self.loop_env.pop();
+                for m in &mut self.mems {
+                    m.set_scalar(var, Value::Int(i));
+                }
+                // Reduction combines attached to this loop.
+                self.run_reduces(s)?;
+                Ok(out)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // A maxloc reduction IF executes with per-processor partial
+                // state (diverging branches); everything else is uniform.
+                if let ScalarMapping::Reduction { .. } = self.sp.decisions.scalar(s) {
+                    return self.exec_reduction_if(s, &cond, &then_body);
+                }
+                let c = self.eval(&cond, 0, &HashSet::new())?.as_bool()?;
+                let b = if c { then_body } else { else_body };
+                self.exec_block(&b)
+            }
+            Stmt::Goto(l) => Ok(Flow::Goto(l)),
+            Stmt::Continue => Ok(Flow::Normal),
+        }
+    }
+
+    /// Maxloc pattern: each partial owner tests and updates its own
+    /// accumulator copy.
+    fn exec_reduction_if(
+        &mut self,
+        s: StmtId,
+        cond: &Expr,
+        then_body: &[StmtId],
+    ) -> Result<Flow, InterpError> {
+        let executors = self.guard_pids(s)?;
+        // Local variables: the accumulator and location variable.
+        let mut locals = HashSet::new();
+        if let ScalarMapping::Reduction { loc_var, .. } = self.sp.decisions.scalar(s) {
+            if let Some(lv) = loc_var {
+                locals.insert(*lv);
+            }
+        }
+        for &t in then_body {
+            if let Some(v) = self.p().stmt(t).written_var() {
+                locals.insert(v);
+            }
+        }
+        for q in executors {
+            let env = self.loop_env.clone();
+            let c = self.eval(cond, q, &locals)?.as_bool()?;
+            self.record(q, Event::CondExec { stmt: s, env });
+            if !c {
+                continue;
+            }
+            self.stats.stmt_execs += 1;
+            for &t in then_body {
+                if let Stmt::Assign { lhs, rhs } = self.p().stmt(t).clone() {
+                    let val = self.eval(&rhs, q, &locals)?;
+                    self.store(q, &lhs, val)?;
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn run_reduces(&mut self, l: StmtId) -> Result<(), InterpError> {
+        let ops: Vec<_> = self.sp.reduces_of(l).into_iter().cloned().collect();
+        for op in ops {
+            if op.reduce_dims.is_empty() {
+                continue; // already complete on the single owner
+            }
+            // Group pids by coordinates outside the reduce dims.
+            let mut groups: std::collections::HashMap<Vec<usize>, Vec<usize>> =
+                std::collections::HashMap::new();
+            for pid in self.grid.pids() {
+                let mut key = self.grid.coords_of(pid);
+                for &g in &op.reduce_dims {
+                    key[g] = usize::MAX;
+                }
+                groups.entry(key).or_default().push(pid);
+            }
+            for (_, pids) in groups {
+                // Trace: members stream partials to the leader, which
+                // folds and broadcasts the result back.
+                if self.trace.is_some() {
+                    let leader = pids[0];
+                    for &q in &pids[1..] {
+                        self.record(q, Event::Send { to: leader, slot: Slot::Scalar(op.acc) });
+                        if let Some(lv) = op.loc {
+                            self.record(q, Event::Send { to: leader, slot: Slot::Scalar(lv) });
+                        }
+                        self.record(leader, Event::RecvPartial { from: q, has_loc: op.loc.is_some() });
+                    }
+                    self.record(leader, Event::Combine {
+                        op: op.op,
+                        acc: op.acc,
+                        loc: op.loc,
+                        count: pids.len() - 1,
+                    });
+                    for &q in &pids[1..] {
+                        self.record(leader, Event::Send { to: q, slot: Slot::Scalar(op.acc) });
+                        self.record(q, Event::Recv { from: leader, slot: Slot::Scalar(op.acc) });
+                        if let Some(lv) = op.loc {
+                            self.record(leader, Event::Send { to: q, slot: Slot::Scalar(lv) });
+                            self.record(q, Event::Recv { from: leader, slot: Slot::Scalar(lv) });
+                        }
+                    }
+                }
+                let mut best_acc = self.mems[pids[0]].scalar(op.acc);
+                let mut best_loc = op.loc.map(|lv| self.mems[pids[0]].scalar(lv));
+                for &q in &pids[1..] {
+                    let v = self.mems[q].scalar(op.acc);
+                    match op.op {
+                        RedOp::Sum => best_acc = eval_binop(hpf_ir::BinOp::Add, best_acc, v)?,
+                        RedOp::Prod => best_acc = eval_binop(hpf_ir::BinOp::Mul, best_acc, v)?,
+                        RedOp::Max => {
+                            best_acc =
+                                eval_intrinsic(hpf_ir::Intrinsic::Max, &[best_acc, v])?
+                        }
+                        RedOp::Min => {
+                            best_acc =
+                                eval_intrinsic(hpf_ir::Intrinsic::Min, &[best_acc, v])?
+                        }
+                        RedOp::MaxLoc => {
+                            let gt = eval_binop(hpf_ir::BinOp::Gt, v, best_acc)?.as_bool()?;
+                            if gt {
+                                best_acc = v;
+                                best_loc = op.loc.map(|lv| self.mems[q].scalar(lv));
+                            }
+                        }
+                    }
+                }
+                for &q in &pids {
+                    self.mems[q].set_scalar(op.acc, best_acc);
+                    if let (Some(lv), Some(bl)) = (op.loc, best_loc) {
+                        self.mems[q].set_scalar(lv, bl);
+                    }
+                    self.stats.combines += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The pids executing statement `s` under its guard.
+    fn guard_pids(&mut self, s: StmtId) -> Result<Vec<usize>, InterpError> {
+        match self.sp.guard(s).clone() {
+            Guard::Everyone | Guard::Union => Ok(self.grid.pids().collect()),
+            Guard::OwnerOf { r, free_dims } => {
+                let own = self.eval_owner(&r, &free_dims, 0)?;
+                Ok(own.pids(&self.grid))
+            }
+        }
+    }
+
+    /// Owner set of a reference, evaluating only the subscripts of pinned
+    /// grid dimensions (free/replicated/private dims stay `Any`).
+    fn eval_owner(
+        &mut self,
+        r: &ArrayRef,
+        free_dims: &[usize],
+        reader: usize,
+    ) -> Result<OwnerSet, InterpError> {
+        let rules = self.sp.maps.of(r.array).rules.clone();
+        let mut per_dim = Vec::with_capacity(rules.len());
+        for (g, rule) in rules.iter().enumerate() {
+            if free_dims.contains(&g) {
+                per_dim.push(GridCoord::Any);
+                continue;
+            }
+            per_dim.push(match rule {
+                GridDimRule::ByDim {
+                    array_dim,
+                    dist,
+                    stride,
+                    offset,
+                    t_lo,
+                    t_extent,
+                } => {
+                    let sub = self
+                        .eval(&r.subs[*array_dim].clone(), reader, &HashSet::new())?
+                        .as_int()?;
+                    let pos0 = stride * sub + offset - t_lo;
+                    if pos0 < 0 || pos0 >= *t_extent {
+                        return Err(InterpError::OutOfBounds {
+                            array: self.p().vars.name(r.array).to_string(),
+                            index: vec![sub],
+                        });
+                    }
+                    GridCoord::At(dist_owner(*dist, pos0, *t_extent, self.grid.extent(g)))
+                }
+                GridDimRule::Fixed(c) => GridCoord::At(*c),
+                GridDimRule::Replicated | GridDimRule::Private => GridCoord::Any,
+            });
+        }
+        Ok(OwnerSet { per_dim })
+    }
+
+    /// Evaluate an expression for processor `q`. Scalars in `locals` (or
+    /// mapped replicated/private) read q's own copy; aligned scalars and
+    /// distributed array elements are fetched from their owners.
+    fn eval(
+        &mut self,
+        e: &Expr,
+        q: usize,
+        locals: &HashSet<VarId>,
+    ) -> Result<Value, InterpError> {
+        match e {
+            Expr::IntLit(v) => Ok(Value::Int(*v)),
+            Expr::RealLit(v) => Ok(Value::Real(*v)),
+            Expr::BoolLit(b) => Ok(Value::Bool(*b)),
+            Expr::Scalar(v) => self.read_scalar(*v, q, locals),
+            Expr::Array(r) => {
+                let mut idx = Vec::with_capacity(r.subs.len());
+                for sub in &r.subs {
+                    idx.push(self.eval(sub, q, locals)?.as_int()?);
+                }
+                let info = self.p().vars.info(r.array);
+                let elem_bytes = info.ty.byte_size() as u64;
+                let shape = info.shape().expect("array ref");
+                if !shape.contains(&idx) {
+                    return Err(InterpError::OutOfBounds {
+                        array: info.name.clone(),
+                        index: idx,
+                    });
+                }
+                let off = shape.linearize(&idx);
+                let own = self.sp.maps.of(r.array).owner_on(&self.grid, &idx);
+                let src = resolve_owner_pid(&self.grid, &own, q);
+                if src != q {
+                    self.stats.messages += 1;
+                    self.stats.bytes += elem_bytes;
+                    self.record_fetch(src, q, Slot::Elem(r.array, off));
+                }
+                Ok(self.mems[src].array(r.array).get(off))
+            }
+            Expr::Unary(op, x) => {
+                let v = self.eval(x, q, locals)?;
+                match op {
+                    hpf_ir::UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Real(r) => Ok(Value::Real(-r)),
+                        Value::Bool(_) => {
+                            Err(InterpError::TypeError("negating LOGICAL".into()))
+                        }
+                    },
+                    hpf_ir::UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a, q, locals)?;
+                let vb = self.eval(b, q, locals)?;
+                eval_binop(*op, va, vb)
+            }
+            Expr::Intrinsic(i, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, q, locals)?);
+                }
+                eval_intrinsic(*i, &vals)
+            }
+        }
+    }
+
+    fn read_scalar(
+        &mut self,
+        v: VarId,
+        q: usize,
+        locals: &HashSet<VarId>,
+    ) -> Result<Value, InterpError> {
+        if locals.contains(&v) {
+            return Ok(self.mems[q].scalar(v));
+        }
+        match self.sp.scalar_mapping(v).clone() {
+            ScalarMapping::Replicated | ScalarMapping::PrivateNoAlign => {
+                Ok(self.mems[q].scalar(v))
+            }
+            ScalarMapping::Aligned { target, .. } => {
+                let own = self.eval_owner(&target, &[], q)?;
+                let src = resolve_owner_pid(&self.grid, &own, q);
+                if src != q {
+                    self.stats.messages += 1;
+                    self.stats.bytes += self.p().vars.info(v).ty.byte_size() as u64;
+                    self.record_fetch(src, q, Slot::Scalar(v));
+                }
+                Ok(self.mems[src].scalar(v))
+            }
+            ScalarMapping::Reduction {
+                target,
+                reduce_dims,
+                ..
+            } => {
+                let own = self.eval_owner(&target, &reduce_dims, q)?;
+                let src = resolve_owner_pid(&self.grid, &own, q);
+                if src != q {
+                    self.stats.messages += 1;
+                    self.stats.bytes += self.p().vars.info(v).ty.byte_size() as u64;
+                    self.record_fetch(src, q, Slot::Scalar(v));
+                }
+                Ok(self.mems[src].scalar(v))
+            }
+        }
+    }
+
+    fn store(&mut self, q: usize, lhs: &LValue, val: Value) -> Result<(), InterpError> {
+        match lhs {
+            LValue::Scalar(v) => {
+                let ty = self.p().vars.info(*v).ty;
+                let val = val.coerce(ty)?;
+                self.mems[q].set_scalar(*v, val);
+            }
+            LValue::Array(r) => {
+                let mut idx = Vec::with_capacity(r.subs.len());
+                for sub in &r.subs {
+                    idx.push(self.eval(sub, q, &HashSet::new())?.as_int()?);
+                }
+                let info = self.p().vars.info(r.array);
+                let ty = info.ty;
+                let shape = info.shape().expect("array lhs");
+                if !shape.contains(&idx) {
+                    return Err(InterpError::OutOfBounds {
+                        array: info.name.clone(),
+                        index: idx,
+                    });
+                }
+                let off = shape.linearize(&idx);
+                self.mems[q].array_mut(r.array).set(off, val.coerce(ty)?)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Gather the authoritative value of every element of an array
+    /// (fetching each element from an owner).
+    pub fn gather_array(&self, v: VarId) -> ArrayStore {
+        let info = self.p().vars.info(v);
+        let shape = info.shape().expect("array");
+        let mut out = ArrayStore::zeroed(info.ty, shape.len() as usize);
+        let mapping = self.sp.maps.of(v);
+        for off in 0..shape.len() as usize {
+            let idx = shape.delinearize(off);
+            let own = mapping.owner_on(&self.grid, &idx);
+            let src = resolve_owner_pid(&self.grid, &own, 0);
+            out.set(off, self.mems[src].array(v).get(off)).unwrap();
+        }
+        out
+    }
+}
+
+/// Run a lowered program and check its results element-by-element against
+/// the sequential interpreter. Arrays whose mapping contains privatized
+/// dimensions are skipped (their post-loop contents are unspecified, per
+/// HPF `NEW` semantics). Returns the executor stats on success.
+pub fn validate_against_sequential(
+    sp: &SpmdProgram,
+    init: impl Fn(&mut Memory),
+) -> Result<ExecStats, String> {
+    // Sequential golden run.
+    let (seq_mem, _) = hpf_ir::interp::run_program(&sp.program, |m| init(m))
+        .map_err(|e| format!("sequential run failed: {}", e))?;
+    // SPMD run.
+    let mut exec = SpmdExec::new(sp, init);
+    let stats = exec.run().map_err(|e| format!("spmd run failed: {}", e))?;
+    // Compare arrays.
+    for (v, info) in sp.program.vars.arrays() {
+        let mapping = sp.maps.of(v);
+        if !mapping.private_dims().is_empty() {
+            continue;
+        }
+        let got = exec.gather_array(v);
+        let want = seq_mem.array(v);
+        if !stores_close(&got, want) {
+            return Err(format!("array {} diverged from sequential", info.name));
+        }
+    }
+    Ok(stats)
+}
+
+fn stores_close(a: &ArrayStore, b: &ArrayStore) -> bool {
+    match (a, b) {
+        (ArrayStore::Real(x), ArrayStore::Real(y)) => x
+            .iter()
+            .zip(y)
+            .all(|(u, v)| (u - v).abs() <= 1e-9 * (1.0 + v.abs())),
+        (ArrayStore::Int(x), ArrayStore::Int(y)) => x == y,
+        (ArrayStore::Bool(x), ArrayStore::Bool(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_analysis::Analysis;
+    use hpf_dist::MappingTable;
+    use hpf_ir::parse_program;
+    use phpf_core::CoreConfig;
+
+    fn lowered(src: &str, cfg: CoreConfig, procs: Option<Vec<usize>>) -> SpmdProgram {
+        let p = parse_program(src).unwrap();
+        let a = Analysis::run(&p);
+        let grid = procs.map(hpf_dist::ProcGrid::new);
+        let maps = MappingTable::from_program(&p, grid).unwrap();
+        let d = phpf_core::map_program(&p, &a, &maps, cfg);
+        crate::lower::lower(&p, &a, &maps, d)
+    }
+
+    const FIG1: &str = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ ALIGN (i) WITH A(i) :: B, C, D
+!HPF$ ALIGN (i) WITH A(*) :: E, F
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(20), B(20), C(20), D(20), E(20), F(20)
+INTEGER i, m
+REAL x, y, z
+m = 2
+DO i = 2, 19
+  m = m + 1
+  x = B(i) + C(i)
+  y = A(i) + B(i)
+  z = E(i) + F(i)
+  A(i+1) = y / z
+  D(m) = x / z
+END DO
+"#;
+
+    fn fig1_init(p: &hpf_ir::Program) -> impl Fn(&mut Memory) + '_ {
+        move |m: &mut Memory| {
+            for name in ["a", "b", "c", "e", "f"] {
+                let v = p.vars.lookup(name).unwrap();
+                let n = p.vars.info(v).shape().unwrap().len() as usize;
+                let data: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.25).collect();
+                m.fill_real(v, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_semantics_preserved_selected() {
+        let sp = lowered(FIG1, CoreConfig::full(), None);
+        let stats = validate_against_sequential(&sp, fig1_init(&sp.program)).unwrap();
+        // Parallel execution happened (not everything on one proc).
+        assert!(stats.stmt_execs > 0);
+    }
+
+    #[test]
+    fn figure1_semantics_preserved_replication() {
+        let sp = lowered(FIG1, CoreConfig::naive(), None);
+        validate_against_sequential(&sp, fig1_init(&sp.program)).unwrap();
+    }
+
+    #[test]
+    fn figure1_semantics_preserved_producer() {
+        let mut cfg = CoreConfig::full();
+        cfg.scalar_policy = phpf_core::ScalarPolicy::ProducerAlign;
+        let sp = lowered(FIG1, cfg, None);
+        validate_against_sequential(&sp, fig1_init(&sp.program)).unwrap();
+    }
+
+    #[test]
+    fn figure1_selected_fewer_messages_than_replication() {
+        let sp_sel = lowered(FIG1, CoreConfig::full(), None);
+        let sp_rep = lowered(FIG1, CoreConfig::naive(), None);
+        let st_sel =
+            validate_against_sequential(&sp_sel, fig1_init(&sp_sel.program)).unwrap();
+        let st_rep =
+            validate_against_sequential(&sp_rep, fig1_init(&sp_rep.program)).unwrap();
+        assert!(
+            st_sel.messages < st_rep.messages,
+            "selected {} vs replication {}",
+            st_sel.messages,
+            st_rep.messages
+        );
+        // Replication also executes far more statement instances.
+        assert!(st_sel.stmt_execs < st_rep.stmt_execs);
+    }
+
+    #[test]
+    fn dgefa_maxloc_semantics() {
+        let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (*, CYCLIC) :: A
+REAL A(8,8)
+INTEGER j, k, l
+REAL tmax
+DO k = 1, 7
+  tmax = 0.0
+  l = k
+  DO j = k, 8
+    IF (ABS(A(j,k)) > tmax) THEN
+      tmax = ABS(A(j,k))
+      l = j
+    END IF
+  END DO
+  A(k,8) = A(l,k)
+END DO
+"#;
+        let sp = lowered(src, CoreConfig::full(), None);
+        let a = sp.program.vars.lookup("a").unwrap();
+        validate_against_sequential(&sp, |m| {
+            let data: Vec<f64> = (0..64)
+                .map(|i| ((i * 37 + 11) % 23) as f64 - 11.0)
+                .collect();
+            m.fill_real(a, &data);
+        })
+        .unwrap();
+    }
+
+    /// Figure 5 reduction: partial sums per processor column combined at
+    /// loop exit.
+    #[test]
+    fn figure5_reduction_semantics() {
+        let src = r#"
+!HPF$ PROCESSORS P(2,2)
+!HPF$ ALIGN B(i) WITH A(i,1)
+!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A
+REAL A(8,8), B(8)
+INTEGER i, j
+REAL s
+DO i = 1, 8
+  s = 0.0
+  DO j = 1, 8
+    s = s + A(i,j)
+  END DO
+  B(i) = s
+END DO
+"#;
+        let sp = lowered(src, CoreConfig::full(), None);
+        let a = sp.program.vars.lookup("a").unwrap();
+        let stats = validate_against_sequential(&sp, |m| {
+            let data: Vec<f64> = (0..64).map(|i| (i % 7) as f64 * 0.5).collect();
+            m.fill_real(a, &data);
+        })
+        .unwrap();
+        assert!(stats.combines > 0, "combines happened");
+    }
+
+    /// Figure 6 partial privatization preserves semantics of the consumer
+    /// array (rsd) while keeping c partially privatized.
+    #[test]
+    fn figure6_partial_privatization_semantics() {
+        let src = r#"
+!HPF$ PROCESSORS P(2,2)
+!HPF$ DISTRIBUTE (*, *, BLOCK, BLOCK) :: RSD
+REAL RSD(5,8,8,8), C(8,8,5)
+INTEGER i, j, k
+!HPF$ INDEPENDENT, NEW(c)
+DO k = 2, 7
+  DO j = 2, 7
+    DO i = 2, 7
+      C(i,j,1) = RSD(1,i,j,k) + 1.0
+    END DO
+  END DO
+  DO j = 3, 7
+    DO i = 2, 7
+      RSD(1,i,j,k) = C(i,j-1,1) * 2.0
+    END DO
+  END DO
+END DO
+"#;
+        let sp = lowered(src, CoreConfig::full(), None);
+        let c = sp.program.vars.lookup("c").unwrap();
+        assert!(!sp.maps.of(c).private_dims().is_empty(), "c partially privatized");
+        let rsd = sp.program.vars.lookup("rsd").unwrap();
+        validate_against_sequential(&sp, |m| {
+            let n = sp.program.vars.info(rsd).shape().unwrap().len() as usize;
+            let data: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) * 0.125 + 0.5).collect();
+            m.fill_real(rsd, &data);
+        })
+        .unwrap();
+    }
+
+    /// Figure 7 control flow: privatized IFs with GOTO preserve semantics.
+    #[test]
+    fn figure7_control_flow_semantics() {
+        let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ ALIGN (i) WITH A(i) :: B, C
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(16), B(16), C(16)
+INTEGER i
+DO i = 1, 16
+  IF (B(i) /= 0.0) THEN
+    A(i) = A(i) / B(i)
+    IF (B(i) < 0.0) GOTO 100
+  ELSE
+    A(i) = C(i)
+    C(i) = C(i) * C(i)
+  END IF
+100 CONTINUE
+END DO
+"#;
+        let sp = lowered(src, CoreConfig::full(), None);
+        let b = sp.program.vars.lookup("b").unwrap();
+        let c = sp.program.vars.lookup("c").unwrap();
+        let a = sp.program.vars.lookup("a").unwrap();
+        validate_against_sequential(&sp, |m| {
+            let bd: Vec<f64> = (0..16)
+                .map(|i| match i % 4 {
+                    0 => 0.0,
+                    1 => 2.0,
+                    2 => -1.5,
+                    _ => 0.5,
+                })
+                .collect();
+            m.fill_real(b, &bd);
+            m.fill_real(c, &(0..16).map(|i| i as f64 + 1.0).collect::<Vec<_>>());
+            m.fill_real(a, &(0..16).map(|i| (i as f64) * 0.5).collect::<Vec<_>>());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! # hpf-spmd
+//!
+//! Owner-computes SPMD lowering and execution:
+//!
+//! * [`guard`] — computation-partitioning guards;
+//! * [`lower`](mod@lower) — program + mapping decisions → guards, placed
+//!   communication operations, reduction combines;
+//! * [`exec`] — the reference multi-memory executor (defines semantics;
+//!   every configuration must match the sequential interpreter);
+//! * [`runtime`] — a threaded message-passing runtime (one thread per
+//!   virtual processor, crossbeam channels) that replays the compiled
+//!   communication schedule and revalidates it;
+//! * [`costsim`] — the analytic SP2 performance model that regenerates
+//!   the paper's tables;
+//! * [`combine`] — global message combining across loop nests (the
+//!   optimization the paper reports phpf lacked).
+
+pub mod combine;
+pub mod costsim;
+pub mod exec;
+pub mod guard;
+pub mod lower;
+pub mod runtime;
+
+pub use combine::{combine_messages, CombineStats};
+pub use costsim::{estimate, CostReport};
+pub use exec::{validate_against_sequential, ExecStats, SpmdExec};
+pub use guard::Guard;
+pub use lower::{lower, CommData, CommOp, ReduceOp, SpmdProgram};

@@ -1,0 +1,160 @@
+//! Reduction execution paths the kernels don't reach: product and min
+//! accumulators, reductions on 1-D grids, maxloc combines across real
+//! reduce dimensions (row-distributed pivot search).
+
+use hpf_analysis::Analysis;
+use hpf_dist::MappingTable;
+use hpf_ir::parse_program;
+use hpf_spmd::{lower, validate_against_sequential, SpmdProgram};
+use phpf_core::CoreConfig;
+
+fn lowered(src: &str) -> SpmdProgram {
+    let p = parse_program(src).unwrap();
+    let a = Analysis::run(&p);
+    let maps = MappingTable::from_program(&p, None).unwrap();
+    let d = phpf_core::map_program(&p, &a, &maps, CoreConfig::full());
+    lower(&p, &a, &maps, d)
+}
+
+#[test]
+fn product_reduction_combines() {
+    let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(8), R(4)
+INTEGER j
+REAL prod
+prod = 1.0
+DO j = 1, 8
+  prod = prod * A(j)
+END DO
+R(1) = prod
+"#;
+    let sp = lowered(src);
+    // The reduction spans the distributed dimension: one reduce op with a
+    // non-empty group.
+    assert_eq!(sp.reduces.len(), 1);
+    assert_eq!(sp.reduces[0].op, hpf_analysis::RedOp::Prod);
+    assert_eq!(sp.reduces[0].reduce_dims, vec![0]);
+    let a = sp.program.vars.lookup("a").unwrap();
+    validate_against_sequential(&sp, move |m| {
+        m.fill_real(a, &[1.5, 2.0, 0.5, 3.0, 1.0, 2.0, 0.25, 4.0]);
+    })
+    .unwrap();
+}
+
+#[test]
+fn min_reduction_combines() {
+    let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+REAL A(16), R(4)
+INTEGER j
+REAL lo
+lo = 1000.0
+DO j = 1, 16
+  lo = MIN(lo, A(j))
+END DO
+R(1) = lo
+"#;
+    let sp = lowered(src);
+    assert_eq!(sp.reduces.len(), 1);
+    assert_eq!(sp.reduces[0].op, hpf_analysis::RedOp::Min);
+    let a = sp.program.vars.lookup("a").unwrap();
+    validate_against_sequential(&sp, move |m| {
+        let data: Vec<f64> = (0..16).map(|k| ((k * 7 + 3) % 13) as f64 - 4.0).collect();
+        m.fill_real(a, &data);
+    })
+    .unwrap();
+}
+
+#[test]
+fn maxloc_across_distributed_rows() {
+    // Unlike DGEFA's column layout, distribute the ROWS: the pivot search
+    // then reduces across the grid and the combine must carry the location
+    // through the log-tree.
+    let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK, *) :: A
+REAL A(16,4), R(4)
+INTEGER j, l
+REAL tmax
+tmax = 0.0
+l = 1
+DO j = 1, 16
+  IF (ABS(A(j,2)) > tmax) THEN
+    tmax = ABS(A(j,2))
+    l = j
+  END IF
+END DO
+R(1) = A(l,3)
+"#;
+    let sp = lowered(src);
+    assert_eq!(sp.reduces.len(), 1);
+    assert_eq!(sp.reduces[0].op, hpf_analysis::RedOp::MaxLoc);
+    assert_eq!(
+        sp.reduces[0].reduce_dims,
+        vec![0],
+        "row distribution makes the search a real cross-processor reduction"
+    );
+    let a = sp.program.vars.lookup("a").unwrap();
+    validate_against_sequential(&sp, move |m| {
+        let data: Vec<f64> = (0..64).map(|k| ((k * 11 + 5) % 29) as f64 - 14.0).collect();
+        m.fill_real(a, &data);
+    })
+    .unwrap();
+}
+
+#[test]
+fn sum_reduction_result_broadcast_to_consumer() {
+    // The combined value is consumed by a statement owned elsewhere.
+    let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK) :: A, OUT
+REAL A(16), OUT(16)
+INTEGER j, i
+REAL s
+s = 0.0
+DO j = 1, 16
+  s = s + A(j)
+END DO
+DO i = 1, 16
+  OUT(i) = s * 0.1
+END DO
+"#;
+    let sp = lowered(src);
+    let a = sp.program.vars.lookup("a").unwrap();
+    validate_against_sequential(&sp, move |m| {
+        let data: Vec<f64> = (1..=16).map(|k| k as f64).collect();
+        m.fill_real(a, &data);
+    })
+    .unwrap();
+}
+
+#[test]
+fn reduction_inside_outer_loop_reset_each_iteration() {
+    // Figure-5 pattern but on a 1-D grid: the accumulator resets per i,
+    // combines per i, and feeds B(i).
+    let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ ALIGN B(i) WITH A(i,1)
+!HPF$ DISTRIBUTE (*, BLOCK) :: A
+REAL A(8,8), B(8)
+INTEGER i, j
+REAL s
+DO i = 1, 8
+  s = 0.0
+  DO j = 1, 8
+    s = s + A(i,j)
+  END DO
+  B(i) = s
+END DO
+"#;
+    let sp = lowered(src);
+    let a = sp.program.vars.lookup("a").unwrap();
+    validate_against_sequential(&sp, move |m| {
+        let data: Vec<f64> = (0..64).map(|k| (k % 5) as f64 * 0.5).collect();
+        m.fill_real(a, &data);
+    })
+    .unwrap();
+}

@@ -1,0 +1,107 @@
+//! The paper's stated future work, integrated: automatic array
+//! privatization. The APPSP kernels with their `INDEPENDENT, NEW(...)`
+//! directives stripped must still privatize (fully on 1-D, partially on
+//! 2-D) when `auto_array_priv` is enabled — and semantics must hold.
+
+use phpf::analysis::Analysis;
+use phpf::core::{map_program, ArrayMappingDecision, CoreConfig};
+use phpf::dist::MappingTable;
+use phpf::ir::parse_program;
+use phpf::kernels::appsp;
+use phpf::spmd::{lower, validate_against_sequential};
+
+fn strip_directives(src: &str) -> String {
+    src.lines()
+        .filter(|l| !l.contains("INDEPENDENT"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn appsp_1d_auto_privatizes_without_new() {
+    let src = strip_directives(&appsp::source_1d(8, 4, 1));
+    assert!(!src.contains("NEW"));
+    let p = parse_program(&src).unwrap();
+    let a = Analysis::run(&p);
+    let maps = MappingTable::from_program(&p, None).unwrap();
+    let d = map_program(&p, &a, &maps, CoreConfig::full_auto());
+    let c = p.vars.lookup("c").unwrap();
+    let cz = p.vars.lookup("cz").unwrap();
+    for v in [c, cz] {
+        let found = d
+            .arrays
+            .iter()
+            .any(|((_, av), dec)| *av == v && matches!(dec, ArrayMappingDecision::FullPrivate { .. }));
+        assert!(found, "{} auto-privatized: {:?}", p.vars.name(v), d.arrays);
+    }
+    // Without the auto pass, nothing is privatized.
+    let d0 = map_program(&p, &a, &maps, CoreConfig::full());
+    assert!(d0.arrays.is_empty());
+}
+
+#[test]
+fn appsp_2d_auto_partial_privatizes_without_new() {
+    let src = strip_directives(&appsp::source_2d(8, 2, 2, 1));
+    let p = parse_program(&src).unwrap();
+    let a = Analysis::run(&p);
+    let maps = MappingTable::from_program(&p, None).unwrap();
+    let d = map_program(&p, &a, &maps, CoreConfig::full_auto());
+    let c = p.vars.lookup("c").unwrap();
+    let partial = d
+        .arrays
+        .iter()
+        .any(|((_, av), dec)| {
+            *av == c && matches!(dec, ArrayMappingDecision::PartialPrivate { .. })
+        });
+    assert!(partial, "C auto partially privatized: {:?}", d.arrays);
+}
+
+#[test]
+fn auto_privatization_preserves_semantics() {
+    let n = 6i64;
+    for src in [
+        strip_directives(&appsp::source_1d(n, 2, 1)),
+        strip_directives(&appsp::source_2d(n, 2, 2, 1)),
+    ] {
+        let p = parse_program(&src).unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let d = map_program(&p, &a, &maps, CoreConfig::full_auto());
+        let sp = lower(&p, &a, &maps, d);
+        let rsd = sp.program.vars.lookup("rsd").unwrap();
+        let f0 = appsp::init_field(n);
+        validate_against_sequential(&sp, move |m| {
+            m.fill_real(rsd, &f0);
+        })
+        .expect("auto-privatized program matches sequential");
+    }
+}
+
+#[test]
+fn auto_privatization_matches_directive_cost() {
+    // The inferred decisions should recover the same simulated performance
+    // as the directive-driven ones.
+    let n = 16i64;
+    let with_new = appsp::source_2d(n, 2, 2, 2);
+    let without = strip_directives(&with_new);
+
+    let cost = |src: &str, cfg: CoreConfig| {
+        let p = parse_program(src).unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let d = map_program(&p, &a, &maps, cfg);
+        let sp = lower(&p, &a, &maps, d);
+        phpf::spmd::costsim::estimate(&sp, &a, &phpf::comm::MachineParams::sp2()).total_s()
+    };
+
+    let directive = cost(&with_new, CoreConfig::full());
+    let auto = cost(&without, CoreConfig::full_auto());
+    let none = cost(&without, CoreConfig::full());
+    assert!(
+        (auto - directive).abs() / directive < 0.05,
+        "auto {} vs directive {}",
+        auto,
+        directive
+    );
+    assert!(none > 2.0 * auto, "no-priv {} vs auto {}", none, auto);
+}

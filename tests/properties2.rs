@@ -1,0 +1,156 @@
+//! Second property suite: the optimization and runtime layers.
+//!
+//! * message combining never changes results;
+//! * the threaded replay agrees with the reference executor on random
+//!   programs;
+//! * the cost model ranks privatization at least as well as replication
+//!   on communication-bound stencils;
+//! * 2-D generated programs preserve semantics.
+
+use hpf_analysis::Analysis;
+use phpf::compile::{compile_source, Options, Version};
+use phpf::dist::MappingTable;
+use phpf::ir::parse_program;
+use phpf::spmd::{combine_messages, lower, validate_against_sequential};
+use proptest::prelude::*;
+
+fn stencil_2d(
+    n: i64,
+    p1: usize,
+    p2: usize,
+    di: i64,
+    dj: i64,
+    dup: bool,
+) -> String {
+    let lo = 1 + di.abs().max(dj.abs());
+    let hi = n - di.abs().max(dj.abs());
+    let extra = if dup {
+        format!(
+            "      W(i,j) = U(i{di},j{dj}) * 0.25\n",
+            di = off(di),
+            dj = off(dj)
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "!HPF$ PROCESSORS P({p1},{p2})\n\
+         !HPF$ DISTRIBUTE (BLOCK, BLOCK) :: U, V, W\n\
+         REAL U({n},{n}), V({n},{n}), W({n},{n})\n\
+         INTEGER i, j\n\
+         REAL t\n\
+         DO j = {lo}, {hi}\n\
+         \x20 DO i = {lo}, {hi}\n\
+         \x20   t = U(i{di},j{dj}) + U(i,j)\n\
+         \x20   V(i,j) = t * 0.5\n{extra}\
+         \x20 END DO\n\
+         END DO\n",
+        di = off(di),
+        dj = off(dj),
+    )
+}
+
+fn off(o: i64) -> String {
+    if o == 0 {
+        String::new()
+    } else if o > 0 {
+        format!("+{}", o)
+    } else {
+        format!("{}", o)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Combining placed messages must never change program results.
+    #[test]
+    fn combining_preserves_semantics(
+        n in 8i64..20,
+        p1 in 1usize..3,
+        p2 in 1usize..3,
+        di in -1i64..2,
+        dj in -1i64..2,
+        dup in any::<bool>(),
+    ) {
+        let src = stencil_2d(n, p1, p2, di, dj, dup);
+        let p = parse_program(&src).unwrap();
+        let a = Analysis::run(&p);
+        let maps = MappingTable::from_program(&p, None).unwrap();
+        let d = phpf::core::map_program(&p, &a, &maps, phpf::core::CoreConfig::full());
+        let mut sp = lower(&p, &a, &maps, d);
+        combine_messages(&mut sp, &a);
+        let u = p.vars.lookup("u").unwrap();
+        let nn = (n * n) as usize;
+        validate_against_sequential(&sp, move |m| {
+            let data: Vec<f64> = (0..nn).map(|k| (k % 17) as f64 * 0.2).collect();
+            m.fill_real(u, &data);
+        })
+        .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+    }
+
+    /// Threaded replay agrees with the reference executor on random 2-D
+    /// stencils.
+    #[test]
+    fn threaded_replay_random_2d(
+        n in 8i64..14,
+        p1 in 1usize..3,
+        p2 in 1usize..3,
+        di in -1i64..2,
+        dj in -1i64..2,
+    ) {
+        let src = stencil_2d(n, p1, p2, di, dj, false);
+        let c = compile_source(&src, Options::new(Version::SelectedAlignment))
+            .map_err(TestCaseError::fail)?;
+        let u = c.spmd.program.vars.lookup("u").unwrap();
+        let nn = (n * n) as usize;
+        phpf::spmd::runtime::validate_replay(&c.spmd, move |m| {
+            let data: Vec<f64> = (0..nn).map(|k| ((k * 3) % 11) as f64 - 5.0).collect();
+            m.fill_real(u, &data);
+        })
+        .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+    }
+
+    /// On these stencils, selected alignment never loses to replication in
+    /// the cost model once there is more than one processor.
+    #[test]
+    fn selected_never_loses_to_replication(
+        n in 10i64..24,
+        p1 in 2usize..4,
+        di in -1i64..2,
+        dj in -1i64..2,
+    ) {
+        let src = stencil_2d(n, p1, p1, di, dj, true);
+        let sel = compile_source(&src, Options::new(Version::SelectedAlignment))
+            .map_err(TestCaseError::fail)?
+            .estimate()
+            .total_s();
+        let rep = compile_source(&src, Options::new(Version::Replication))
+            .map_err(TestCaseError::fail)?
+            .estimate()
+            .total_s();
+        prop_assert!(sel <= rep * 1.0001, "selected {} vs replication {}\n{}", sel, rep, src);
+    }
+
+    /// Combining is monotone: it never increases the op count or the
+    /// simulated time.
+    #[test]
+    fn combining_is_monotone(
+        n in 8i64..20,
+        p1 in 1usize..4,
+        dj in -1i64..2,
+    ) {
+        let src = stencil_2d(n, p1, 1, 0, dj, true);
+        let plain = compile_source(&src, Options::new(Version::SelectedAlignment))
+            .map_err(TestCaseError::fail)?;
+        let combined = compile_source(
+            &src,
+            Options::new(Version::SelectedAlignment).with_message_combining(),
+        )
+        .map_err(TestCaseError::fail)?;
+        prop_assert!(combined.spmd.comms.len() <= plain.spmd.comms.len());
+        prop_assert!(
+            combined.estimate().total_s() <= plain.estimate().total_s() + 1e-12
+        );
+    }
+}

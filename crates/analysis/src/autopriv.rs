@@ -125,11 +125,13 @@ pub fn array_privatizable(
 }
 
 fn references_array(p: &Program, s: StmtId, v: VarId) -> bool {
-    if let Stmt::Assign { lhs, .. } = p.stmt(s) {
-        if let LValue::Array(r) = lhs {
-            if r.array == v {
-                return true;
-            }
+    if let Stmt::Assign {
+        lhs: LValue::Array(r),
+        ..
+    } = p.stmt(s)
+    {
+        if r.array == v {
+            return true;
         }
     }
     p.stmt(s)
@@ -158,6 +160,7 @@ fn write_unconditional_in(p: &Program, l: StmtId, ws: StmtId) -> bool {
 /// Per-dimension containment of the read's subscript range in the write's
 /// range, over the loops strictly inside `l` (the `l` index stays
 /// symbolic, so containment holds in each iteration).
+#[allow(clippy::too_many_arguments)]
 fn ranges_contained(
     p: &Program,
     cfg: &Cfg,

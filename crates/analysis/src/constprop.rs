@@ -129,17 +129,18 @@ impl ConstProp {
 
 fn transfer(p: &Program, s: StmtId, in_env: &Env, out_env: &mut Env) {
     match p.stmt(s) {
-        Stmt::Assign { lhs, rhs } => {
-            if let hpf_ir::LValue::Scalar(v) = lhs {
-                let val = match fold_expr(rhs, &|x| match in_env[x.index()] {
-                    CVal::Const(c) => Some(c),
-                    _ => None,
-                }) {
-                    Some(c) => CVal::Const(c),
-                    None => CVal::Nac,
-                };
-                out_env[v.index()] = val;
-            }
+        Stmt::Assign {
+            lhs: hpf_ir::LValue::Scalar(v),
+            rhs,
+        } => {
+            let val = match fold_expr(rhs, &|x| match in_env[x.index()] {
+                CVal::Const(c) => Some(c),
+                _ => None,
+            }) {
+                Some(c) => CVal::Const(c),
+                None => CVal::Nac,
+            };
+            out_env[v.index()] = val;
         }
         Stmt::Do { var, .. } => {
             // The loop variable varies; treat as NAC at this level.

@@ -154,7 +154,7 @@ impl ReachingDefs {
     pub fn stmt_reads(&self, stmt: StmtId, var: VarId) -> bool {
         self.reads
             .get(&stmt)
-            .map_or(false, |rs| rs.iter().any(|r| r.var == var))
+            .is_some_and(|rs| rs.iter().any(|r| r.var == var))
     }
 
     /// The read occurrences of `var` in `stmt`.

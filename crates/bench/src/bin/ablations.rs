@@ -89,14 +89,13 @@ END DO
 
     // ---- C: partial privatization ------------------------------------
     let src2d = appsp::source_2d(32, 4, 4, 2);
-    let part = compile_source(&src2d, Options::new(Version::SelectedAlignment))
+    let part_r = compile_source(&src2d, Options::new(Version::SelectedAlignment))
         .unwrap()
-        .estimate()
-        .total_s();
-    let nopart = compile_source(&src2d, Options::new(Version::NoPartialPrivatization))
+        .estimate();
+    let nopart_r = compile_source(&src2d, Options::new(Version::NoPartialPrivatization))
         .unwrap()
-        .estimate()
-        .total_s();
+        .estimate();
+    let (part, nopart) = (part_r.total_s(), nopart_r.total_s());
     println!("C. partial privatization (APPSP 2-D, n=32, P=16):");
     println!("   with partial privatization:    {:>10.4} s", part);
     println!("   without (privatization fails): {:>10.4} s", nopart);
@@ -104,14 +103,13 @@ END DO
 
     // ---- D: reduction mapping ------------------------------------------
     let srcd = hpf_kernels::dgefa::source(256, 16);
-    let ali = compile_source(&srcd, Options::new(Version::SelectedAlignment))
+    let ali_r = compile_source(&srcd, Options::new(Version::SelectedAlignment))
         .unwrap()
-        .estimate()
-        .total_s();
-    let def = compile_source(&srcd, Options::new(Version::NoReductionAlignment))
+        .estimate();
+    let def_r = compile_source(&srcd, Options::new(Version::NoReductionAlignment))
         .unwrap()
-        .estimate()
-        .total_s();
+        .estimate();
+    let (ali, def) = (ali_r.total_s(), def_r.total_s());
     println!("D. reduction-scalar alignment (DGEFA n=256, P=16):");
     println!("   aligned (Sec 2.3):  {:>10.4} s", ali);
     println!("   replicated:         {:>10.4} s  (+{:.1}%)\n", def, 100.0 * (def - ali) / ali);
@@ -167,4 +165,19 @@ END DO
             rep / sel
         );
     }
+
+    let cell = |version, r: &hpf_spmd::CostReport| phpf_bench::Cell {
+        version,
+        procs: 16,
+        seconds: r.total_s(),
+        comm_seconds: r.comm_s,
+        messages: r.messages,
+    };
+    let rows = vec![vec![
+        cell("2-D partial privatization", &part_r),
+        cell("2-D no partial privatization", &nopart_r),
+        cell("DGEFA aligned reduction", &ali_r),
+        cell("DGEFA replicated reduction", &def_r),
+    ]];
+    println!("{}", phpf_bench::bench_json("ablations", &rows));
 }

@@ -6,7 +6,8 @@ use hpf_kernels::dgefa;
 use phpf_bench::{render, table2};
 
 fn main() {
-    // Semantic validation at a small size.
+    // Semantic validation at a small size, plus the observed-vs-predicted
+    // message cross-check on the instrumented executor.
     let n_small = 16;
     let src = dgefa::source(n_small, 4);
     for v in [Version::NoReductionAlignment, Version::SelectedAlignment] {
@@ -18,7 +19,18 @@ fn main() {
             m.fill_real(a, &a0);
         })
         .unwrap_or_else(|e| panic!("{}: {}", v.name(), e));
-        println!("validated {:<22} (n={}, P=4): results match sequential", v.name(), n_small);
+        let a0 = dgefa::init_matrix(n_small);
+        let check = c
+            .cross_check(move |m| m.fill_real(a, &a0))
+            .unwrap_or_else(|e| panic!("{} cross-check: {}", v.name(), e));
+        println!(
+            "validated {:<22} (n={}, P=4): results match sequential; \
+             observed {} wire messages <= predicted {:.0}",
+            v.name(),
+            n_small,
+            check.observed_total,
+            check.predicted_total
+        );
     }
     println!();
 
@@ -47,4 +59,5 @@ fn main() {
             100.0 * over / row[0].seconds
         );
     }
+    println!("{}", phpf_bench::bench_json("table2", &rows));
 }

@@ -50,6 +50,8 @@ fn main() {
         )
     );
 
+    println!("{}", phpf_bench::bench_json("table3", &rows));
+
     // Extension beyond the paper: a fixed 3-D distribution (the layout the
     // paper's citation [15] reports as the best hand-tuned one) — partial
     // privatization with TWO partitioned grid dimensions.

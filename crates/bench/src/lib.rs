@@ -116,6 +116,28 @@ pub fn render(title: &str, header: &[&str], rows: &[Vec<Cell>], procs: &[usize])
     out
 }
 
+/// Machine-readable benchmark results: a single line starting with
+/// `BENCH_JSON` so driver scripts can grep it out of the human-readable
+/// table text. One object per measured cell.
+pub fn bench_json(table: &str, rows: &[Vec<Cell>]) -> String {
+    let mut out = format!("BENCH_JSON {{\"table\":\"{}\",\"cells\":[", table);
+    let mut first = true;
+    for row in rows {
+        for c in row {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"version\":\"{}\",\"procs\":{},\"seconds\":{},\"comm_seconds\":{},\"messages\":{}}}",
+                c.version, c.procs, c.seconds, c.comm_seconds, c.messages
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Seconds with adaptive precision (matches the flavor of the paper's
 /// tables, which mix sub-second and multi-hour entries).
 pub fn format_seconds(s: f64) -> String {

@@ -110,6 +110,18 @@ impl CommPattern {
     pub fn is_local(self) -> bool {
         self == CommPattern::Local
     }
+
+    /// Stable short name, used as the key of per-pattern metrics counters
+    /// and in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommPattern::Local => "local",
+            CommPattern::Shift { .. } => "shift",
+            CommPattern::Broadcast => "broadcast",
+            CommPattern::Transpose => "transpose",
+            CommPattern::PointToPoint => "point-to-point",
+        }
+    }
 }
 
 /// Classify the pattern between a source and destination symbolic owner.

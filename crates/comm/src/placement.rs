@@ -148,6 +148,7 @@ fn collect_reads(e: &Expr, out: &mut Vec<VarId>) {
 /// `dims_filter`, when given, restricts which grid dimensions count
 /// (partial privatization considers only the dimensions being privatized —
 /// Sec. 3.2).
+#[allow(clippy::too_many_arguments)]
 pub fn align_level(
     p: &Program,
     cfg: &Cfg,
@@ -266,8 +267,8 @@ pub fn vectorization_factor(
 ) -> Option<i64> {
     let loops = p.enclosing_loops(stmt);
     let mut f = 1i64;
-    for d in placement.level..placement.stmt_level {
-        f *= trip_count(p, cfg, cp, loops[d])?;
+    for &l in &loops[placement.level..placement.stmt_level] {
+        f *= trip_count(p, cfg, cp, l)?;
     }
     Some(f)
 }

@@ -7,6 +7,7 @@
 //!                  [--combine]         enable global message combining
 //!                  [--auto-priv]       enable automatic array privatization
 //!                  [--estimate]        print the simulated SP2 cost
+//!                  [--observe]         execute and print observed traffic
 //!                  [--pretty]          echo the parsed program back
 //! ```
 //!
@@ -19,7 +20,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: phpfc <file.hpf> [--version <v>] [--procs P1[,P2,..]] \
-         [--combine] [--auto-priv] [--estimate] [--pretty]"
+         [--combine] [--auto-priv] [--estimate] [--observe] [--pretty]"
     );
     ExitCode::from(2)
 }
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
     let mut combine = false;
     let mut auto_priv = false;
     let mut estimate = false;
+    let mut observe = false;
     let mut pretty = false;
 
     while let Some(arg) = args.next() {
@@ -53,10 +55,12 @@ fn main() -> ExitCode {
             }
             "--procs" => {
                 let Some(v) = args.next() else { return usage() };
-                match v.split(',').map(|x| x.parse::<usize>()).collect() {
-                    Ok(dims) => grid = Some(dims),
-                    Err(_) => {
-                        eprintln!("bad --procs '{}'", v);
+                match v.split(',').map(|x| x.parse::<usize>()).collect::<Result<Vec<_>, _>>() {
+                    Ok(dims) if !dims.is_empty() && dims.iter().all(|&d| d > 0) => {
+                        grid = Some(dims)
+                    }
+                    _ => {
+                        eprintln!("bad --procs '{}' (need positive extents)", v);
                         return usage();
                     }
                 }
@@ -64,6 +68,7 @@ fn main() -> ExitCode {
             "--combine" => combine = true,
             "--auto-priv" => auto_priv = true,
             "--estimate" => estimate = true,
+            "--observe" => observe = true,
             "--pretty" => pretty = true,
             "-h" | "--help" => return usage(),
             other if file.is_none() && !other.starts_with('-') => {
@@ -123,6 +128,44 @@ fn main() -> ExitCode {
         println!("comm     {:>12.6} s", r.comm_s);
         println!("messages {:>12.0}", r.messages);
         println!("bytes    {:>12.0}", r.bytes);
+    }
+    if observe {
+        // Deterministic non-trivial data in every real array so the
+        // communication paths actually move values.
+        let arrays: Vec<_> = compiled
+            .spmd
+            .program
+            .vars
+            .arrays()
+            .filter(|(_, info)| info.ty == hpf_ir::ScalarTy::Real)
+            .map(|(v, info)| (v, info.shape().unwrap().len() as usize))
+            .collect();
+        let init = |m: &mut hpf_ir::Memory| {
+            for &(v, n) in &arrays {
+                let data: Vec<f64> = (0..n).map(|k| 1.0 + k as f64 * 0.25).collect();
+                m.fill_real(v, &data);
+            }
+        };
+        match compiled.observe(init) {
+            Ok((_, metrics)) => {
+                print!("{}", hpf_compile::report::render_observed(&compiled, &metrics));
+                let cost = compiled.estimate();
+                match hpf_spmd::cross_check(&compiled.spmd, &cost, &metrics) {
+                    Ok(chk) => println!(
+                        "cross-check: observed {} wire messages <= predicted {:.0}",
+                        chk.observed_total, chk.predicted_total
+                    ),
+                    Err(e) => {
+                        eprintln!("phpfc: cross-check FAILED: {}", e);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("phpfc: execution failed: {}", e);
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -133,6 +133,30 @@ impl Compiled {
     pub fn report(&self) -> String {
         report::render(self)
     }
+
+    /// Execute the program on the reference SPMD executor and return the
+    /// per-element statistics together with the wire-level communication
+    /// metrics ([`hpf_spmd::CommMetrics`]) the run produced.
+    pub fn observe(
+        &self,
+        init: impl Fn(&mut hpf_ir::Memory),
+    ) -> Result<(hpf_spmd::ExecStats, hpf_spmd::CommMetrics), String> {
+        let mut exec = hpf_spmd::SpmdExec::new(&self.spmd, init);
+        exec.run().map_err(|e| format!("execution failed: {:?}", e))?;
+        let stats = exec.stats;
+        Ok((stats, exec.metrics))
+    }
+
+    /// Execute the program and validate the observed wire traffic against
+    /// the cost model's per-operation message predictions.
+    pub fn cross_check(
+        &self,
+        init: impl Fn(&mut hpf_ir::Memory),
+    ) -> Result<hpf_spmd::CrossCheck, String> {
+        let (_, metrics) = self.observe(init)?;
+        let cost = self.estimate();
+        hpf_spmd::cross_check(&self.spmd, &cost, &metrics)
+    }
 }
 
 /// Compile an already-built program.

@@ -62,10 +62,14 @@ pub fn render(c: &Compiled) -> String {
         } else {
             "inner loop (per iteration)".to_string()
         };
+        let pairs = match op.pairs_per_exec {
+            Some(n) => format!("  [{} wire pair(s)/exec]", n),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "s{:<4} {:<12} {:?}  {}",
-            op.stmt.0, what, op.pattern, place
+            "s{:<4} {:<12} {:?}  {}{}",
+            op.stmt.0, what, op.pattern, place, pairs
         );
     }
 
@@ -188,6 +192,54 @@ pub fn render(c: &Compiled) -> String {
             r.reduce_dims
         );
     }
+    out
+}
+
+/// Render observed wire traffic from an execution next to the placed
+/// communication schedule (the instrumented counterpart of [`render`]'s
+/// schedule section).
+pub fn render_observed(c: &Compiled, metrics: &hpf_spmd::CommMetrics) -> String {
+    let p = &c.spmd.program;
+    let mut out = String::new();
+    let _ = writeln!(out, "== observed communication ==");
+    for (i, op) in c.spmd.comms.iter().enumerate() {
+        let what = match &op.data {
+            CommData::Array(r) => format!("{}(..)", p.vars.name(r.array)),
+            CommData::Scalar(v) => p.vars.name(*v).to_string(),
+        };
+        let m = metrics
+            .per_op
+            .get(i)
+            .copied()
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "op{:<3} s{:<4} {:<12} {:<14} {:>8} msg {:>10} B {:>8} elem",
+            i,
+            op.stmt.0,
+            what,
+            op.pattern.name(),
+            m.messages,
+            m.bytes,
+            m.elements
+        );
+    }
+    let _ = writeln!(out, "-- per pattern --");
+    for (name, ctr) in &metrics.per_pattern {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} msg {:>10} B",
+            name, ctr.messages, ctr.bytes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: {} messages, {} bytes, {} untracked, max in flight {}",
+        metrics.messages(),
+        metrics.bytes(),
+        metrics.untracked_messages,
+        metrics.max_in_flight
+    );
     out
 }
 

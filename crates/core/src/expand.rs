@@ -152,11 +152,7 @@ END DO
                 .unwrap();
             let x = p2.vars.lookup("x").unwrap();
             // Analysis borrows p2 immutably; clone the pieces we need.
-            let l_copy = l;
-            let arr = {
-                let res = expand_scalar_cloned(&p2, &a, l_copy, x);
-                res
-            };
+            let arr = expand_scalar_cloned(&p2, &a, l, x);
             p2 = arr.unwrap();
         }
         assert!(p2.vars.lookup("x__x").is_some());

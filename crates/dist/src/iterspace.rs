@@ -71,6 +71,7 @@ impl IterSet {
 /// extent. Returns `None` when the set is not expressible as a
 /// range/strided set (e.g. `|a| != 1`, or CYCLIC(k) blocks) — the caller
 /// must then emit a runtime ownership guard instead of shrinking bounds.
+#[allow(clippy::too_many_arguments)]
 pub fn shrink_bounds(
     dist: DistFormat,
     nprocs: usize,
@@ -143,6 +144,7 @@ mod tests {
     use crate::mapping::dist_owner;
 
     /// Brute-force cross-check of `shrink_bounds` against `dist_owner`.
+    #[allow(clippy::too_many_arguments)]
     fn check(
         dist: DistFormat,
         nprocs: usize,

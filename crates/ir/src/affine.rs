@@ -125,10 +125,8 @@ impl Affine {
                 let fb = Affine::from_expr(b)?;
                 if let Some(k) = fa.as_const() {
                     Some(fb.scale(k))
-                } else if let Some(k) = fb.as_const() {
-                    Some(fa.scale(k))
                 } else {
-                    None
+                    fb.as_const().map(|k| fa.scale(k))
                 }
             }
             _ => None,

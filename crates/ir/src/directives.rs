@@ -146,7 +146,7 @@ impl Directives {
     /// Is `var` named in a `NEW` clause of loop `loop_id`?
     pub fn is_new_var(&self, loop_id: StmtId, var: VarId) -> bool {
         self.independent_of(loop_id)
-            .map_or(false, |i| i.new_vars.contains(&var))
+            .is_some_and(|i| i.new_vars.contains(&var))
     }
 }
 
@@ -190,9 +190,11 @@ mod tests {
         });
         d.aligns
             .push(AlignDirective::identity(VarId(3), VarId(2), 1));
-        let mut info = IndependentInfo::default();
-        info.independent = true;
-        info.new_vars.push(VarId(5));
+        let info = IndependentInfo {
+            independent: true,
+            new_vars: vec![VarId(5)],
+            ..Default::default()
+        };
         d.independents.insert(StmtId(7), info);
 
         assert!(d.distribute_of(VarId(2)).is_some());

@@ -158,22 +158,29 @@ impl Expr {
         Expr::Array(ArrayRef::new(a, subs))
     }
 
+    // Builder methods, deliberately named like the operator traits: call
+    // sites read as expression algebra without requiring `use std::ops`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
         Expr::Unary(UnOp::Neg, Box::new(self))
     }

@@ -179,6 +179,9 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
 
 // --------------------------------------------------------------- parser --
 
+/// (alignee, dummies, target, target subscript token lists, line).
+type DeferredAlign = (String, Vec<String>, String, Vec<Vec<Tok>>, usize);
+
 struct Parser {
     program: Program,
     /// Pending INDEPENDENT info for the next DO statement.
@@ -186,7 +189,7 @@ struct Parser {
     /// Deferred align directives (alignee may be declared after the
     /// directive in HPF source order): (alignee, dummies, target, target
     /// subscript texts).
-    deferred_aligns: Vec<(String, Vec<String>, String, Vec<Vec<Tok>>, usize)>,
+    deferred_aligns: Vec<DeferredAlign>,
     deferred_distributes: Vec<(Vec<DistFormat>, Vec<String>, usize)>,
 }
 
@@ -1065,13 +1068,11 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                     line: lineno,
                 };
                 // `DOUBLE PRECISION`
-                if *w == *"double" {
-                    if !lp.eat_kw("precision") {
-                        return Err(ParseError {
-                            line: lineno,
-                            msg: "expected PRECISION after DOUBLE".into(),
-                        });
-                    }
+                if *w == *"double" && !lp.eat_kw("precision") {
+                    return Err(ParseError {
+                        line: lineno,
+                        msg: "expected PRECISION after DOUBLE".into(),
+                    });
                 }
                 parser.parse_decl(ty, &mut lp)?;
                 continue;

@@ -41,8 +41,12 @@ pub fn combine_messages(sp: &mut SpmdProgram, a: &Analysis<'_>) -> CombineStats 
     let p = &sp.program;
     let mut kept: Vec<CommOp> = Vec::new();
     'outer: for op in sp.comms.drain(..) {
-        for k in &kept {
+        for k in kept.iter_mut() {
             if same_message(p, a, k, &op) {
+                // Remember the absorbed operation's identity so executed
+                // fetches for it still resolve (SpmdProgram::comm_index).
+                k.merged.push((op.stmt, op.data.clone()));
+                k.merged.extend(op.merged.iter().cloned());
                 continue 'outer;
             }
         }

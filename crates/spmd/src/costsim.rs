@@ -10,7 +10,11 @@
 //! * **communication** — for every placed [`CommOp`], the number of
 //!   executions at its placement level × the pattern's collective cost,
 //!   with message sizes multiplied by the vectorization factor (the trip
-//!   counts of the loops the message was hoisted across);
+//!   counts of the loops the message was hoisted across). Message *counts*
+//!   are direct-wire sender→receiver pairs per execution (the lowering's
+//!   `pairs_per_exec` when known), so they are directly comparable to the
+//!   wire messages the executor and threaded runtime observe
+//!   ([`crate::crosscheck`]);
 //! * **reduction combines** — a log-tree combine per loop invocation.
 //!
 //! Absolute seconds are model outputs, not measurements; the simulator's
@@ -171,23 +175,34 @@ pub fn estimate(sp: &SpmdProgram, a: &Analysis<'_>, machine: &MachineParams) -> 
                         _ => 1.0,
                     };
                     let b = (bytes_per_msg * crossing).max(op.elem_bytes as f64);
-                    (
-                        machine.shift(b as usize, ext),
-                        ext as f64,
-                        ext as f64 * b,
-                    )
+                    let wire = op
+                        .pairs_per_exec
+                        .unwrap_or((ext - 1) * (grid_total / ext))
+                        as f64;
+                    (machine.shift(b as usize, ext), wire, wire * b)
                 }
             }
-            CommPattern::Broadcast => (
-                machine.broadcast(bytes_per_msg as usize, grid_total),
-                log2_ceil(grid_total) as f64,
-                grid_total as f64 * bytes_per_msg,
-            ),
-            CommPattern::Transpose => (
-                machine.transpose(bytes_per_msg as usize, grid_total),
-                (grid_total.saturating_sub(1)) as f64,
-                bytes_per_msg,
-            ),
+            CommPattern::Broadcast => {
+                let wire = op
+                    .pairs_per_exec
+                    .unwrap_or(grid_total.saturating_sub(1)) as f64;
+                (
+                    machine.broadcast(bytes_per_msg as usize, grid_total),
+                    wire,
+                    wire * bytes_per_msg,
+                )
+            }
+            CommPattern::Transpose => {
+                let wire = op
+                    .pairs_per_exec
+                    .unwrap_or(grid_total * grid_total.saturating_sub(1))
+                    as f64;
+                (
+                    machine.transpose(bytes_per_msg as usize, grid_total),
+                    wire,
+                    bytes_per_msg,
+                )
+            }
             CommPattern::PointToPoint => {
                 (machine.msg(bytes_per_msg as usize), 1.0, bytes_per_msg)
             }

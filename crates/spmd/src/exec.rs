@@ -5,22 +5,26 @@
 //! This executor defines the *semantics* of a lowered program — every
 //! mapping configuration (including the deliberately bad ones used as
 //! baselines) must produce results identical to the sequential
-//! interpreter. Performance is modelled separately by [`crate::costsim`];
-//! the executor's message counts are exact per-element fetches (no
-//! vectorization), useful as an upper bound and for invariants, not as
-//! the timing model.
+//! interpreter. Performance is modelled separately by [`crate::costsim`].
+//! [`ExecStats`] still counts exact per-element fetches (an upper bound,
+//! useful for invariants); wire-level traffic — where the per-element
+//! fetches of a hoisted communication operation coalesce into one
+//! vectorized [`Event::SendVec`]/[`Event::RecvVec`] message — is recorded
+//! in [`CommMetrics`], directly comparable to the cost model's message
+//! predictions (checked by [`crate::crosscheck`]).
 
 use crate::guard::{resolve_owner_pid, Guard};
-use crate::lower::SpmdProgram;
+use crate::lower::{CommData, SpmdProgram};
+use crate::metrics::CommMetrics;
 use hpf_analysis::RedOp;
 use hpf_dist::{dist_owner, GridCoord, GridDimRule, OwnerSet, ProcGrid};
 use hpf_ir::interp::{eval_binop, eval_intrinsic, ArrayStore, InterpError, Memory};
 use hpf_ir::{ArrayRef, Expr, Label, LValue, Stmt, StmtId, Value, VarId};
 use phpf_core::ScalarMapping;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// A storage slot on one processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Slot {
     Scalar(VarId),
     /// Array element by linear offset.
@@ -35,6 +39,21 @@ pub enum Event {
     Send { to: usize, slot: Slot },
     /// Receive a value from processor `from` into `slot`.
     Recv { from: usize, slot: Slot },
+    /// Send the local values of `slots` to `to` as one coalesced message
+    /// (the vectorized form of the hoisted communication operation `op`,
+    /// an index into `SpmdProgram::comms`).
+    SendVec {
+        to: usize,
+        op: usize,
+        slots: Vec<Slot>,
+    },
+    /// Receive one coalesced message from `from`, storing its values into
+    /// `slots` in order.
+    RecvVec {
+        from: usize,
+        op: usize,
+        slots: Vec<Slot>,
+    },
     /// Execute an assignment locally (operands are all local by now).
     Exec {
         stmt: StmtId,
@@ -78,18 +97,43 @@ enum Flow {
     Goto(Label),
 }
 
+/// A coalesced message under assembly: further fetches of the same
+/// (operation, src, dst) triple append to it instead of opening a new
+/// message, until the placement loop advances and the group closes.
+struct OpenGroup {
+    /// Positions of the group's `SendVec`/`RecvVec` events in the sender's
+    /// and receiver's trace (present only when tracing). Stable because
+    /// traces are append-only.
+    send_idx: Option<usize>,
+    recv_idx: Option<usize>,
+    /// Slots already carried — repeat fetches of one element are free.
+    seen: HashSet<Slot>,
+}
+
 /// The executor.
 pub struct SpmdExec<'s> {
     sp: &'s SpmdProgram,
     grid: ProcGrid,
     pub mems: Vec<Memory>,
     pub stats: ExecStats,
+    /// Wire-level communication accounting (coalesced messages count once).
+    pub metrics: CommMetrics,
     steps: u64,
     pub step_limit: u64,
     /// When present, the execution is recorded for threaded replay.
     pub trace: Option<Trace>,
     /// Current loop-variable bindings (outermost first).
     loop_env: Vec<(VarId, i64)>,
+    /// Coalesce hoisted fetches into vectorized messages (default on).
+    vectorize: bool,
+    /// Statement currently executing — attributes fetches to placed
+    /// communication operations.
+    cur_stmt: Option<StmtId>,
+    /// Open coalescing groups keyed by (op index, src pid, dst pid).
+    open: HashMap<(usize, usize, usize), OpenGroup>,
+    /// Inside a global control evaluation (IF predicate, DO bounds):
+    /// unattributed fetches are control traffic, not schedule misses.
+    ctrl_eval: bool,
 }
 
 impl<'s> SpmdExec<'s> {
@@ -104,15 +148,21 @@ impl<'s> SpmdExec<'s> {
                 m
             })
             .collect();
+        let metrics = CommMetrics::new(grid.total(), sp.comms.len());
         SpmdExec {
             sp,
             grid,
             mems,
             stats: ExecStats::default(),
+            metrics,
             steps: 0,
             step_limit: 2_000_000_000,
             trace: None,
             loop_env: Vec::new(),
+            vectorize: true,
+            cur_stmt: None,
+            open: HashMap::new(),
+            ctrl_eval: false,
         }
     }
 
@@ -122,17 +172,112 @@ impl<'s> SpmdExec<'s> {
         self
     }
 
+    /// Disable fetch coalescing: every cross-processor element moves as
+    /// its own message (the baseline vectorization is compared against).
+    pub fn without_vectorization(mut self) -> Self {
+        self.vectorize = false;
+        self
+    }
+
     fn record(&mut self, pid: usize, ev: Event) {
         if let Some(t) = &mut self.trace {
             t[pid].push(ev);
         }
     }
 
-    fn record_fetch(&mut self, src: usize, dst: usize, slot: Slot) {
-        if self.trace.is_some() {
-            self.record(src, Event::Send { to: dst, slot });
-            self.record(dst, Event::Recv { from: src, slot });
+    /// One cross-processor element fetch: always counted per-element in
+    /// `stats`; in `metrics` (and the trace) a fetch belonging to a
+    /// hoisted operation joins that operation's open coalesced message for
+    /// this (src, dst) pair, so it costs a wire message only when it opens
+    /// the group.
+    fn fetch(&mut self, op: Option<usize>, src: usize, dst: usize, slot: Slot, bytes: u64) {
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        let hoisted = op
+            .map(|i| {
+                let c = &self.sp.comms[i];
+                c.level < c.stmt_level
+            })
+            .unwrap_or(false);
+        if self.vectorize && hoisted {
+            let i = op.unwrap();
+            let pattern = self.sp.comms[i].pattern.name();
+            let key = (i, src, dst);
+            if !self.open.contains_key(&key) {
+                let (send_idx, recv_idx) = match &mut self.trace {
+                    Some(t) => {
+                        t[src].push(Event::SendVec {
+                            to: dst,
+                            op: i,
+                            slots: Vec::new(),
+                        });
+                        t[dst].push(Event::RecvVec {
+                            from: src,
+                            op: i,
+                            slots: Vec::new(),
+                        });
+                        (Some(t[src].len() - 1), Some(t[dst].len() - 1))
+                    }
+                    None => (None, None),
+                };
+                self.open.insert(
+                    key,
+                    OpenGroup {
+                        send_idx,
+                        recv_idx,
+                        seen: HashSet::new(),
+                    },
+                );
+                self.metrics.note_message(pattern, Some(i), src, dst, 0);
+                self.metrics.saw_in_flight(self.open.len() as u64);
+            }
+            let g = self.open.get_mut(&key).unwrap();
+            if g.seen.insert(slot) {
+                if let Some(t) = &mut self.trace {
+                    if let Some(Event::SendVec { slots, .. }) =
+                        g.send_idx.map(|x| &mut t[src][x])
+                    {
+                        slots.push(slot);
+                    }
+                    if let Some(Event::RecvVec { slots, .. }) =
+                        g.recv_idx.map(|x| &mut t[dst][x])
+                    {
+                        slots.push(slot);
+                    }
+                }
+                self.metrics.note_payload(pattern, i, src, dst, bytes);
+            }
+        } else {
+            let pattern = match op {
+                Some(i) => self.sp.comms[i].pattern.name(),
+                None if self.ctrl_eval => crate::metrics::CONTROL,
+                None => {
+                    if std::env::var_os("PHPF_DEBUG_UNTRACKED").is_some() {
+                        eprintln!(
+                            "untracked fetch at stmt {:?} slot {:?} {}->{}",
+                            self.cur_stmt, slot, src, dst
+                        );
+                    }
+                    crate::metrics::UNTRACKED
+                }
+            };
+            self.metrics.note_message(pattern, op, src, dst, bytes);
+            if self.trace.is_some() {
+                self.record(src, Event::Send { to: dst, slot });
+                self.record(dst, Event::Recv { from: src, slot });
+            }
         }
+    }
+
+    /// Close every coalescing group whose placement loop (at `depth` or
+    /// deeper) advanced: the next fetch of its operation starts a new
+    /// message.
+    fn close_groups(&mut self, depth: usize) {
+        if self.open.is_empty() {
+            return;
+        }
+        let sp = self.sp;
+        self.open.retain(|&(i, _, _), _| sp.comms[i].level < depth);
     }
 
     /// Run to completion.
@@ -172,6 +317,7 @@ impl<'s> SpmdExec<'s> {
         if self.steps > self.step_limit {
             return Err(InterpError::StepLimit);
         }
+        self.cur_stmt = Some(s);
         match self.p().stmt(s).clone() {
             Stmt::Assign { lhs, rhs } => {
                 let executors = self.guard_pids(s)?;
@@ -191,9 +337,16 @@ impl<'s> SpmdExec<'s> {
                 step,
                 body,
             } => {
-                let lo = self.eval(&lo, 0, &HashSet::new())?.as_int()?;
-                let hi = self.eval(&hi, 0, &HashSet::new())?.as_int()?;
-                let st = self.eval(&step, 0, &HashSet::new())?.as_int()?;
+                self.ctrl_eval = true;
+                let bounds = (|| -> Result<(i64, i64, i64), InterpError> {
+                    Ok((
+                        self.eval(&lo, 0, &HashSet::new())?.as_int()?,
+                        self.eval(&hi, 0, &HashSet::new())?.as_int()?,
+                        self.eval(&step, 0, &HashSet::new())?.as_int()?,
+                    ))
+                })();
+                self.ctrl_eval = false;
+                let (lo, hi, st) = bounds?;
                 if st == 0 {
                     return Err(InterpError::DivisionByZero);
                 }
@@ -201,6 +354,9 @@ impl<'s> SpmdExec<'s> {
                 let mut out = Flow::Normal;
                 self.loop_env.push((var, lo));
                 while (st > 0 && i <= hi) || (st < 0 && i >= hi) {
+                    // A new iteration at this depth: coalesced messages of
+                    // operations placed at this level or deeper are done.
+                    self.close_groups(self.loop_env.len());
                     for m in &mut self.mems {
                         m.set_scalar(var, Value::Int(i));
                     }
@@ -232,11 +388,19 @@ impl<'s> SpmdExec<'s> {
                 if let ScalarMapping::Reduction { .. } = self.sp.decisions.scalar(s) {
                     return self.exec_reduction_if(s, &cond, &then_body);
                 }
-                let c = self.eval(&cond, 0, &HashSet::new())?.as_bool()?;
+                self.ctrl_eval = true;
+                let c = self.eval(&cond, 0, &HashSet::new());
+                self.ctrl_eval = false;
+                let c = c?.as_bool()?;
                 let b = if c { then_body } else { else_body };
                 self.exec_block(&b)
             }
-            Stmt::Goto(l) => Ok(Flow::Goto(l)),
+            Stmt::Goto(l) => {
+                // A jump may re-enter earlier code without a loop-iteration
+                // boundary; conservatively close every coalescing group.
+                self.open.clear();
+                Ok(Flow::Goto(l))
+            }
             Stmt::Continue => Ok(Flow::Normal),
         }
     }
@@ -252,10 +416,11 @@ impl<'s> SpmdExec<'s> {
         let executors = self.guard_pids(s)?;
         // Local variables: the accumulator and location variable.
         let mut locals = HashSet::new();
-        if let ScalarMapping::Reduction { loc_var, .. } = self.sp.decisions.scalar(s) {
-            if let Some(lv) = loc_var {
-                locals.insert(*lv);
-            }
+        if let ScalarMapping::Reduction {
+            loc_var: Some(lv), ..
+        } = self.sp.decisions.scalar(s)
+        {
+            locals.insert(*lv);
         }
         for &t in then_body {
             if let Some(v) = self.p().stmt(t).written_var() {
@@ -264,6 +429,7 @@ impl<'s> SpmdExec<'s> {
         }
         for q in executors {
             let env = self.loop_env.clone();
+            self.cur_stmt = Some(s);
             let c = self.eval(cond, q, &locals)?.as_bool()?;
             self.record(q, Event::CondExec { stmt: s, env });
             if !c {
@@ -272,6 +438,7 @@ impl<'s> SpmdExec<'s> {
             self.stats.stmt_execs += 1;
             for &t in then_body {
                 if let Stmt::Assign { lhs, rhs } = self.p().stmt(t).clone() {
+                    self.cur_stmt = Some(t);
                     let val = self.eval(&rhs, q, &locals)?;
                     self.store(q, &lhs, val)?;
                 }
@@ -297,8 +464,23 @@ impl<'s> SpmdExec<'s> {
                 groups.entry(key).or_default().push(pid);
             }
             for (_, pids) in groups {
-                // Trace: members stream partials to the leader, which
-                // folds and broadcasts the result back.
+                // Wire traffic of the combine: members stream partials to
+                // the leader, which folds and broadcasts the result back.
+                {
+                    let leader = pids[0];
+                    let acc_bytes = self.p().vars.info(op.acc).ty.byte_size() as u64;
+                    let loc_bytes = op.loc.map(|lv| self.p().vars.info(lv).ty.byte_size() as u64);
+                    for &q in &pids[1..] {
+                        for (a, b) in [(q, leader), (leader, q)] {
+                            self.metrics
+                                .note_message(crate::metrics::REDUCE, None, a, b, acc_bytes);
+                            if let Some(lb) = loc_bytes {
+                                self.metrics
+                                    .note_message(crate::metrics::REDUCE, None, a, b, lb);
+                            }
+                        }
+                    }
+                }
                 if self.trace.is_some() {
                     let leader = pids[0];
                     for &q in &pids[1..] {
@@ -445,9 +627,10 @@ impl<'s> SpmdExec<'s> {
                 let own = self.sp.maps.of(r.array).owner_on(&self.grid, &idx);
                 let src = resolve_owner_pid(&self.grid, &own, q);
                 if src != q {
-                    self.stats.messages += 1;
-                    self.stats.bytes += elem_bytes;
-                    self.record_fetch(src, q, Slot::Elem(r.array, off));
+                    let op = self
+                        .cur_stmt
+                        .and_then(|s| self.sp.comm_index(s, &CommData::Array(r.clone())));
+                    self.fetch(op, src, q, Slot::Elem(r.array, off), elem_bytes);
                 }
                 Ok(self.mems[src].array(r.array).get(off))
             }
@@ -496,9 +679,11 @@ impl<'s> SpmdExec<'s> {
                 let own = self.eval_owner(&target, &[], q)?;
                 let src = resolve_owner_pid(&self.grid, &own, q);
                 if src != q {
-                    self.stats.messages += 1;
-                    self.stats.bytes += self.p().vars.info(v).ty.byte_size() as u64;
-                    self.record_fetch(src, q, Slot::Scalar(v));
+                    let bytes = self.p().vars.info(v).ty.byte_size() as u64;
+                    let op = self
+                        .cur_stmt
+                        .and_then(|s| self.sp.comm_index(s, &CommData::Scalar(v)));
+                    self.fetch(op, src, q, Slot::Scalar(v), bytes);
                 }
                 Ok(self.mems[src].scalar(v))
             }
@@ -510,9 +695,11 @@ impl<'s> SpmdExec<'s> {
                 let own = self.eval_owner(&target, &reduce_dims, q)?;
                 let src = resolve_owner_pid(&self.grid, &own, q);
                 if src != q {
-                    self.stats.messages += 1;
-                    self.stats.bytes += self.p().vars.info(v).ty.byte_size() as u64;
-                    self.record_fetch(src, q, Slot::Scalar(v));
+                    let bytes = self.p().vars.info(v).ty.byte_size() as u64;
+                    let op = self
+                        .cur_stmt
+                        .and_then(|s| self.sp.comm_index(s, &CommData::Scalar(v)));
+                    self.fetch(op, src, q, Slot::Scalar(v), bytes);
                 }
                 Ok(self.mems[src].scalar(v))
             }

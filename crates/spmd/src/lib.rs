@@ -13,17 +13,27 @@
 //! * [`costsim`] — the analytic SP2 performance model that regenerates
 //!   the paper's tables;
 //! * [`combine`] — global message combining across loop nests (the
-//!   optimization the paper reports phpf lacked).
+//!   optimization the paper reports phpf lacked);
+//! * [`metrics`] — wire-level communication observability (per-processor,
+//!   per-pattern and per-operation message/byte counters) recorded by
+//!   both the executor and the threaded runtime;
+//! * [`crosscheck`] — validation that observed wire messages agree with
+//!   the cost model's predictions.
 
 pub mod combine;
 pub mod costsim;
+pub mod crosscheck;
 pub mod exec;
 pub mod guard;
 pub mod lower;
+pub mod metrics;
 pub mod runtime;
 
 pub use combine::{combine_messages, CombineStats};
 pub use costsim::{estimate, CostReport};
+pub use crosscheck::{cross_check, CrossCheck, OpCheck};
 pub use exec::{validate_against_sequential, ExecStats, SpmdExec};
 pub use guard::Guard;
 pub use lower::{lower, CommData, CommOp, ReduceOp, SpmdProgram};
+pub use metrics::CommMetrics;
+pub use runtime::{replay, validate_replay, validate_replay_opts, Replayed, ReplayStats};

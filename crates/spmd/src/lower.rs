@@ -42,6 +42,15 @@ pub struct CommOp {
     /// from the subscripts re-read the same elements — data reuse, not
     /// data movement).
     pub vol_levels: Vec<usize>,
+    /// Wire messages one execution of the (vectorized) operation sends
+    /// across the whole machine, derived from the source owner's symbolic
+    /// shape. `None` when the lowering cannot bound it (the cost model
+    /// falls back to a pattern default).
+    pub pairs_per_exec: Option<usize>,
+    /// (stmt, data) pairs of operations folded into this one by
+    /// `combine_messages`, kept so executed fetches still resolve to a
+    /// placed operation after combining.
+    pub merged: Vec<(StmtId, CommData)>,
 }
 
 /// A reduction combine attached to a loop exit.
@@ -87,6 +96,15 @@ impl SpmdProgram {
             .iter()
             .filter(|c| c.level == c.stmt_level && c.stmt_level > 0)
             .count()
+    }
+
+    /// Index into `comms` of the operation satisfying a fetch of `data`
+    /// issued by `stmt`, looking through `combine_messages` merges.
+    pub fn comm_index(&self, stmt: StmtId, data: &CommData) -> Option<usize> {
+        self.comms.iter().position(|c| {
+            (c.stmt == stmt && &c.data == data)
+                || c.merged.iter().any(|(s, d)| *s == stmt && d == data)
+        })
     }
 }
 
@@ -157,9 +175,25 @@ pub fn lower(
     let mut comms = Vec::new();
     for s in p.preorder() {
         match p.stmt(s) {
-            Stmt::Assign { rhs, .. } => {
+            Stmt::Assign { lhs, rhs } => {
                 let dst = dest_owner(p, a, &maps, &guards, &decisions, s);
                 collect_comms(p, a, &maps, &var_mapping, s, rhs, &dst, &mut comms);
+                // Subscripts of a distributed write are evaluated by every
+                // processor deciding the guard, so privatized scalars read
+                // there (DGEFA's pivot index in `A(l,j) = ...`) need their
+                // value everywhere: a broadcast.
+                if let LValue::Array(lr) = lhs {
+                    let every = SymbolicOwner::replicated(maps.grid.rank());
+                    let mut lhs_ops = Vec::new();
+                    for sub in &lr.subs {
+                        collect_comms(p, a, &maps, &var_mapping, s, sub, &every, &mut lhs_ops);
+                    }
+                    for op in lhs_ops {
+                        if !comms.iter().any(|c| c.stmt == op.stmt && c.data == op.data) {
+                            comms.push(op);
+                        }
+                    }
+                }
             }
             Stmt::If { cond, .. } => {
                 // Predicate data: to the dependents' owner when privatized
@@ -185,6 +219,57 @@ pub fn lower(
                 }
             }
             _ => {}
+        }
+    }
+
+    // A broadcast of a privatized scalar puts its value on every
+    // processor; narrower transfers of the same value issued at the same
+    // program point (same placement level, same enclosing loop) are then
+    // redundant. DGEFA's pivot index moves once per elimination step, not
+    // once per statement reading it. Absorb the subsumed operations,
+    // keeping their identity for fetch attribution (`comm_index`).
+    {
+        let issue = |op: &CommOp| {
+            if op.level == 0 {
+                None
+            } else {
+                p.enclosing_loop_at_level(op.stmt, op.level)
+            }
+        };
+        let mut bcast: HashMap<(VarId, usize, Option<StmtId>), usize> = HashMap::new();
+        for (i, op) in comms.iter().enumerate() {
+            if let CommData::Scalar(v) = op.data {
+                if op.pattern == CommPattern::Broadcast {
+                    bcast.entry((v, op.level, issue(op))).or_insert(i);
+                }
+            }
+        }
+        if !bcast.is_empty() {
+            let mut absorbed = vec![false; comms.len()];
+            let mut merged_into: HashMap<usize, Vec<(StmtId, CommData)>> = HashMap::new();
+            for (i, op) in comms.iter().enumerate() {
+                if let CommData::Scalar(v) = op.data {
+                    if let Some(&bi) = bcast.get(&(v, op.level, issue(op))) {
+                        if bi != i {
+                            absorbed[i] = true;
+                            let e = merged_into.entry(bi).or_default();
+                            e.push((op.stmt, op.data.clone()));
+                            e.extend(op.merged.iter().cloned());
+                        }
+                    }
+                }
+            }
+            let mut kept = Vec::with_capacity(comms.len());
+            for (i, mut op) in comms.into_iter().enumerate() {
+                if absorbed[i] {
+                    continue;
+                }
+                if let Some(m) = merged_into.remove(&i) {
+                    op.merged.extend(m);
+                }
+                kept.push(op);
+            }
+            comms = kept;
         }
     }
 
@@ -279,6 +364,73 @@ fn dest_owner(
     }
 }
 
+/// Highest (1-based) enclosing-loop level of `s` whose index variable
+/// appears in an affine owner position of `so`; 0 if no loop index does.
+fn owner_max_level(p: &Program, so: &SymbolicOwner, s: StmtId) -> usize {
+    so.dims
+        .iter()
+        .filter_map(|d| match d {
+            DimPos::Pos { pos, .. } => pos
+                .vars()
+                .filter_map(|v| {
+                    p.enclosing_loops(s)
+                        .iter()
+                        .position(|&l| p.loop_var(l) == Some(v))
+                        .map(|x| x + 1)
+                })
+                .max(),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Wire sender/receiver pairs of one execution of a hoisted shift. The
+/// shifted grid dimension contributes its `extent - 1` boundary crossings;
+/// an orthogonal dimension multiplies the count only when the source owner
+/// position there still varies within the operation (`DimPos::Any`, or an
+/// affine position driven by a loop deeper than the placement level) —
+/// a position pinned by the hoisted levels selects a single plane.
+fn shift_pairs(
+    p: &Program,
+    grid: &hpf_dist::ProcGrid,
+    so: &SymbolicOwner,
+    s: StmtId,
+    grid_dim: usize,
+    level: usize,
+) -> usize {
+    let ext = grid.extent(grid_dim);
+    if ext <= 1 {
+        return 0;
+    }
+    let mut pairs = ext - 1;
+    for (g, d) in so.dims.iter().enumerate() {
+        if g == grid_dim {
+            continue;
+        }
+        match d {
+            DimPos::Any => pairs *= grid.extent(g),
+            DimPos::Pos { pos, .. } => {
+                let lvl = pos
+                    .vars()
+                    .filter_map(|v| {
+                        p.enclosing_loops(s)
+                            .iter()
+                            .position(|&l| p.loop_var(l) == Some(v))
+                            .map(|x| x + 1)
+                    })
+                    .max()
+                    .unwrap_or(0);
+                if lvl > level {
+                    pairs *= grid.extent(g);
+                }
+            }
+            DimPos::Fixed(_) => {}
+        }
+    }
+    pairs
+}
+
 /// Classify and place communication for every operand of one expression.
 #[allow(clippy::too_many_arguments)]
 fn collect_comms(
@@ -335,30 +487,33 @@ fn collect_comms(
         // cost it as a broadcast (DGEFA's pivot column per elimination
         // step is the canonical case).
         let mut pattern = pattern;
-        if pattern == CommPattern::Transpose {
-            if let Some(so) = &src {
-                let src_max_level = so
-                    .dims
-                    .iter()
-                    .filter_map(|d| match d {
-                        DimPos::Pos { pos, .. } => pos
-                            .vars()
-                            .filter_map(|v| {
-                                p.enclosing_loops(s)
-                                    .iter()
-                                    .position(|&l| p.loop_var(l) == Some(v))
-                                    .map(|x| x + 1)
-                            })
-                            .max(),
-                        _ => None,
-                    })
-                    .max()
-                    .unwrap_or(0);
-                if src_max_level <= placement.level {
-                    pattern = CommPattern::Broadcast;
+        let src_max_level = src
+            .as_ref()
+            .map(|so| owner_max_level(p, so, s))
+            .unwrap_or(0);
+        if pattern == CommPattern::Transpose && src.is_some() && src_max_level <= placement.level {
+            pattern = CommPattern::Broadcast;
+        }
+        // Wire messages one execution of the operation moves.
+        let total = maps.grid.total();
+        let pairs_per_exec = match (pattern, &src) {
+            (CommPattern::Shift { grid_dim, .. }, Some(so)) => {
+                Some(shift_pairs(p, &maps.grid, so, s, grid_dim, placement.level))
+            }
+            // A source still varying within the hoisted levels means every
+            // processor holds a slice the others need — an allgather of
+            // P(P-1) pairs; a pinned source is a plain one-to-many.
+            (CommPattern::Broadcast, _) => {
+                if src_max_level > placement.level {
+                    Some(total * total.saturating_sub(1))
+                } else {
+                    Some(total.saturating_sub(1))
                 }
             }
-        }
+            (CommPattern::Transpose, _) => Some(total * total.saturating_sub(1)),
+            (CommPattern::PointToPoint, _) => Some(1),
+            _ => None,
+        };
         // Loop levels contributing distinct elements.
         let mut vol_levels: Vec<usize> = Vec::new();
         for sub in &r.subs {
@@ -385,6 +540,8 @@ fn collect_comms(
             elem_bytes: p.vars.info(r.array).ty.byte_size(),
             shift_src_level,
             vol_levels,
+            pairs_per_exec,
+            merged: Vec::new(),
         });
     }
     // Scalar operands mapped to partitioned data.
@@ -410,14 +567,15 @@ fn collect_comms(
             maps.of(target.array),
             tstmt,
             target,
-        );
-        let mut pattern = match src {
-            Some(mut src) => {
-                for &g in &free {
-                    src.dims[g] = DimPos::Any;
-                }
-                classify(&src, dst)
+        )
+        .map(|mut so| {
+            for &g in &free {
+                so.dims[g] = DimPos::Any;
             }
+            so
+        });
+        let mut pattern = match &src {
+            Some(so) => classify(so, dst),
             None => CommPattern::PointToPoint,
         };
         if pattern == CommPattern::Local {
@@ -433,6 +591,15 @@ fn collect_comms(
         // DGEFA's pivot index l, defined in the search loop, moves once
         // per elimination step rather than once per swap iteration.
         let level = var_change_level(p, s, w).min(stmt_level);
+        let total = maps.grid.total();
+        let pairs_per_exec = match (pattern, &src) {
+            (CommPattern::Shift { grid_dim, .. }, Some(so)) => {
+                Some(shift_pairs(p, &maps.grid, so, s, grid_dim, level))
+            }
+            (CommPattern::Broadcast, _) => Some(total.saturating_sub(1)),
+            (CommPattern::PointToPoint, _) => Some(1),
+            _ => None,
+        };
         out.push(CommOp {
             stmt: s,
             data: CommData::Scalar(w),
@@ -442,6 +609,8 @@ fn collect_comms(
             elem_bytes: p.vars.info(w).ty.byte_size(),
             shift_src_level: None,
             vol_levels: Vec::new(),
+            pairs_per_exec,
+            merged: Vec::new(),
         });
     }
 }

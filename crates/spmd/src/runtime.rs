@@ -15,66 +15,93 @@
 
 use crate::exec::{Event, Slot, SpmdExec, Trace};
 use crate::lower::SpmdProgram;
+use crate::metrics::CommMetrics;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use hpf_analysis::RedOp;
 use hpf_ir::interp::{eval_binop, eval_intrinsic, InterpError, Memory};
 use hpf_ir::{Expr, LValue, Program, Stmt, Value, VarId};
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Statistics from a threaded replay.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplayStats {
+    /// Wire messages sent (a coalesced `SendVec` counts once).
     pub messages_sent: u64,
     pub events: u64,
 }
 
+/// Everything a threaded replay produces.
+#[derive(Debug)]
+pub struct Replayed {
+    pub mems: Vec<Memory>,
+    pub stats: ReplayStats,
+    /// Wire-level accounting, merged over workers. `max_in_flight` here is
+    /// the real peak of sent-but-not-yet-received messages across all
+    /// channels.
+    pub metrics: CommMetrics,
+}
+
+/// What travels over a channel: a single value or a coalesced section.
+enum Msg {
+    One(Value),
+    Many(Vec<Value>),
+}
+
 /// Run the threaded replay of a recorded trace; returns the per-processor
-/// memories and aggregate stats.
+/// memories, aggregate stats and communication metrics.
 pub fn replay(
     sp: &SpmdProgram,
     trace: &Trace,
     init: impl Fn(&mut Memory) + Sync,
-) -> Result<(Vec<Memory>, ReplayStats), String> {
+) -> Result<Replayed, String> {
     let nproc = trace.len();
     // One channel per ordered (from, to) pair.
-    let mut senders: Vec<HashMap<usize, Sender<Value>>> = (0..nproc).map(|_| HashMap::new()).collect();
-    let mut receivers: Vec<HashMap<usize, Receiver<Value>>> =
+    let mut senders: Vec<HashMap<usize, Sender<Msg>>> = (0..nproc).map(|_| HashMap::new()).collect();
+    let mut receivers: Vec<HashMap<usize, Receiver<Msg>>> =
         (0..nproc).map(|_| HashMap::new()).collect();
-    for from in 0..nproc {
-        for to in 0..nproc {
+    for (from, sends) in senders.iter_mut().enumerate() {
+        for (to, recvs) in receivers.iter_mut().enumerate() {
             if from == to {
                 continue;
             }
             let (s, r) = unbounded();
-            senders[from].insert(to, s);
-            receivers[to].insert(from, r);
+            sends.insert(to, s);
+            recvs.insert(from, r);
         }
     }
 
     let program = &sp.program;
-    // Aggregate statistics are updated concurrently by the workers.
-    let total: Mutex<ReplayStats> = Mutex::new(ReplayStats::default());
+    // Aggregate statistics are updated concurrently by the workers; the
+    // in-flight gauge is shared so the peak sees cross-thread overlap.
+    let total: Mutex<(ReplayStats, CommMetrics)> =
+        Mutex::new((ReplayStats::default(), CommMetrics::new(nproc, sp.comms.len())));
+    let in_flight = AtomicI64::new(0);
+    let peak = AtomicU64::new(0);
     let results: Vec<Result<Memory, String>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nproc);
-        for (pid, (tx, rx)) in senders
-            .into_iter()
-            .zip(receivers.into_iter())
-            .enumerate()
-        {
+        for (pid, (tx, rx)) in senders.into_iter().zip(receivers).enumerate() {
             let events = &trace[pid];
             let init = &init;
             let total = &total;
+            let in_flight = &in_flight;
+            let peak = &peak;
             handles.push(scope.spawn(move || {
                 let mut mem = Memory::zeroed(program);
                 init(&mut mem);
                 let mut worker = Worker {
+                    sp,
                     program,
+                    pid,
                     mem: &mut mem,
                     tx,
                     rx,
                     stack: Vec::new(),
                     stats: ReplayStats::default(),
+                    metrics: CommMetrics::new(nproc, sp.comms.len()),
+                    in_flight,
+                    peak,
                 };
                 for ev in events {
                     worker
@@ -82,9 +109,11 @@ pub fn replay(
                         .map_err(|e| format!("proc {}: {}", pid, e))?;
                 }
                 let s = worker.stats;
+                let m = worker.metrics;
                 let mut t = total.lock();
-                t.messages_sent += s.messages_sent;
-                t.events += s.events;
+                t.0.messages_sent += s.messages_sent;
+                t.0.events += s.events;
+                t.1.merge(&m);
                 Ok(mem)
             }));
         }
@@ -95,31 +124,106 @@ pub fn replay(
     for r in results {
         mems.push(r?);
     }
-    Ok((mems, total.into_inner()))
+    let (stats, mut metrics) = total.into_inner();
+    metrics.saw_in_flight(peak.load(Ordering::Relaxed));
+    Ok(Replayed {
+        mems,
+        stats,
+        metrics,
+    })
 }
 
 struct Worker<'a> {
+    sp: &'a SpmdProgram,
     program: &'a Program,
+    pid: usize,
     mem: &'a mut Memory,
-    tx: HashMap<usize, Sender<Value>>,
-    rx: HashMap<usize, Receiver<Value>>,
+    tx: HashMap<usize, Sender<Msg>>,
+    rx: HashMap<usize, Receiver<Msg>>,
     /// Stack of received reduction partials `(acc, loc)`.
     stack: Vec<(Value, Option<Value>)>,
     stats: ReplayStats,
+    metrics: CommMetrics,
+    /// Shared gauge of sent-but-not-received messages (all channels).
+    in_flight: &'a AtomicI64,
+    peak: &'a AtomicU64,
 }
 
 impl Worker<'_> {
+    /// Send one wire message, maintaining the shared in-flight gauge.
+    fn send_msg(&mut self, to: usize, msg: Msg) -> Result<(), String> {
+        self.tx[&to].send(msg).map_err(|e| e.to_string())?;
+        self.stats.messages_sent += 1;
+        let n = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(n.max(0) as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn recv_msg(&mut self, from: usize) -> Result<Msg, String> {
+        let m = self.rx[&from].recv().map_err(|e| e.to_string())?;
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        Ok(m)
+    }
+
+    fn recv_one(&mut self, from: usize) -> Result<Value, String> {
+        match self.recv_msg(from)? {
+            Msg::One(v) => Ok(v),
+            Msg::Many(_) => Err("expected a single-value message, got a section".into()),
+        }
+    }
+
+    fn slot_bytes(&self, slot: Slot) -> u64 {
+        let v = match slot {
+            Slot::Scalar(v) => v,
+            Slot::Elem(v, _) => v,
+        };
+        self.program.vars.info(v).ty.byte_size() as u64
+    }
+
     fn step(&mut self, ev: &Event) -> Result<(), String> {
         self.stats.events += 1;
         match ev {
             Event::Send { to, slot } => {
                 let v = self.load(*slot);
-                self.tx[to].send(v).map_err(|e| e.to_string())?;
-                self.stats.messages_sent += 1;
+                let bytes = self.slot_bytes(*slot);
+                self.send_msg(*to, Msg::One(v))?;
+                // The trace does not attribute per-element sends to an
+                // operation; count them under the generic element pattern.
+                self.metrics
+                    .note_message(crate::metrics::ELEMENT, None, self.pid, *to, bytes);
             }
             Event::Recv { from, slot } => {
-                let v = self.rx[from].recv().map_err(|e| e.to_string())?;
+                let v = self.recv_one(*from)?;
                 self.store_slot(*slot, v).map_err(|e| e.to_string())?;
+            }
+            Event::SendVec { to, op, slots } => {
+                let vals: Vec<Value> = slots.iter().map(|&s| self.load(s)).collect();
+                let pattern = self.sp.comms[*op].pattern.name();
+                self.metrics
+                    .note_message(pattern, Some(*op), self.pid, *to, 0);
+                for &s in slots {
+                    let b = self.slot_bytes(s);
+                    self.metrics.note_payload(pattern, *op, self.pid, *to, b);
+                }
+                self.send_msg(*to, Msg::Many(vals))?;
+            }
+            Event::RecvVec { from, slots, .. } => {
+                let vals = match self.recv_msg(*from)? {
+                    Msg::Many(v) => v,
+                    Msg::One(_) => {
+                        return Err("expected a coalesced section, got a single value".into())
+                    }
+                };
+                if vals.len() != slots.len() {
+                    return Err(format!(
+                        "section length mismatch: got {}, expected {}",
+                        vals.len(),
+                        slots.len()
+                    ));
+                }
+                for (&s, v) in slots.iter().zip(vals) {
+                    self.store_slot(s, v).map_err(|e| e.to_string())?;
+                }
             }
             Event::Exec { stmt, env } => {
                 self.bind(env);
@@ -151,9 +255,9 @@ impl Worker<'_> {
                 }
             }
             Event::RecvPartial { from, has_loc } => {
-                let acc = self.rx[from].recv().map_err(|e| e.to_string())?;
+                let acc = self.recv_one(*from)?;
                 let loc = if *has_loc {
-                    Some(self.rx[from].recv().map_err(|e| e.to_string())?)
+                    Some(self.recv_one(*from)?)
                 } else {
                     None
                 };
@@ -315,15 +419,31 @@ impl Worker<'_> {
 
 /// Record a trace with the reference executor, replay it on threads, and
 /// check that every processor's memory matches the reference. Returns the
-/// replay stats.
+/// replay result (memories, stats, metrics).
 pub fn validate_replay(
     sp: &SpmdProgram,
     init: impl Fn(&mut Memory) + Sync,
-) -> Result<ReplayStats, String> {
+) -> Result<Replayed, String> {
+    validate_replay_opts(sp, init, true)
+}
+
+/// [`validate_replay`] with explicit control over message vectorization in
+/// the recording executor: `vectorize = false` records per-element
+/// `Send`/`Recv` events only (the differential baseline for the coalesced
+/// schedule).
+pub fn validate_replay_opts(
+    sp: &SpmdProgram,
+    init: impl Fn(&mut Memory) + Sync,
+    vectorize: bool,
+) -> Result<Replayed, String> {
     let mut exec = SpmdExec::new(sp, &init).with_trace();
+    if !vectorize {
+        exec = exec.without_vectorization();
+    }
     exec.run().map_err(|e| format!("reference run failed: {}", e))?;
     let trace = exec.trace.take().expect("trace recorded");
-    let (mems, stats) = replay(sp, &trace, &init)?;
+    let replayed = replay(sp, &trace, &init)?;
+    let mems = &replayed.mems;
     // Compare the *authoritative* slots: every array element on its owner
     // processor. (Non-owned local copies legitimately differ: the replay
     // stages received values into them, while the reference executor reads
@@ -345,7 +465,7 @@ pub fn validate_replay(
             }
         }
     }
-    Ok(stats)
+    Ok(replayed)
 }
 
 #[cfg(test)]
@@ -382,14 +502,16 @@ END DO
 "#;
         let sp = lowered(src, CoreConfig::full());
         let a = sp.program.vars.lookup("a").unwrap();
-        let stats = validate_replay(&sp, move |m| {
+        let r = validate_replay(&sp, move |m| {
             let data: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
             m.fill_real(a, &data);
         })
         .unwrap();
         // Boundary exchanges really happened over channels.
-        assert!(stats.messages_sent > 0);
-        assert!(stats.events > 0);
+        assert!(r.stats.messages_sent > 0);
+        assert!(r.stats.events > 0);
+        assert_eq!(r.metrics.messages(), r.stats.messages_sent);
+        assert!(r.metrics.max_in_flight >= 1);
     }
 
     #[test]
@@ -411,12 +533,12 @@ END DO
 "#;
         let sp = lowered(src, CoreConfig::full());
         let a = sp.program.vars.lookup("a").unwrap();
-        let stats = validate_replay(&sp, move |m| {
+        let r = validate_replay(&sp, move |m| {
             let data: Vec<f64> = (0..64).map(|i| (i % 9) as f64).collect();
             m.fill_real(a, &data);
         })
         .unwrap();
-        assert!(stats.messages_sent > 0);
+        assert!(r.stats.messages_sent > 0);
     }
 
     #[test]
@@ -444,13 +566,13 @@ END DO
             .iter()
             .map(|n| sp.program.vars.lookup(n).unwrap())
             .collect();
-        let stats = validate_replay(&sp, move |m| {
+        let r = validate_replay(&sp, move |m| {
             for &v in &names {
                 let data: Vec<f64> = (0..20).map(|i| 1.0 + i as f64 * 0.125).collect();
                 m.fill_real(v, &data);
             }
         })
         .unwrap();
-        assert!(stats.events > 0);
+        assert!(r.stats.events > 0);
     }
 }

@@ -29,14 +29,15 @@ fn main() {
     // processor, values moving only through crossbeam channels.
     let a0 = dgefa::init_matrix(n);
     let a = compiled.spmd.program.vars.lookup("a").unwrap();
-    let stats = validate_replay(&compiled.spmd, move |m| {
+    let replayed = validate_replay(&compiled.spmd, move |m| {
         m.fill_real(a, &a0);
     })
     .expect("threaded replay matches the reference executor");
     println!(
         "\nthreaded replay: {} messages over channels, {} events — matches reference.",
-        stats.messages_sent, stats.events
+        replayed.stats.messages_sent, replayed.stats.events
     );
+    println!("comm metrics: {}", replayed.metrics.to_json());
 
     // Table-2-style comparison at LINPACK size.
     println!("\nDGEFA n=512, simulated SP2:");

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# CI gate: build, full test suite, lints, and the paper-table binaries'
+# machine-readable output. Run from the repository root.
+set -eu
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> bench binaries emit BENCH_JSON"
+for bin in table1 table2 table3; do
+    out=$(cargo run -q --release -p phpf-bench --bin "$bin")
+    echo "$out" | grep -q '^BENCH_JSON {' || {
+        echo "FAIL: $bin printed no BENCH_JSON line" >&2
+        exit 1
+    }
+done
+
+echo "OK: build, tests, lints and bench output all clean"

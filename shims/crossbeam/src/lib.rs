@@ -1,0 +1,40 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` module
+//! surface the runtime uses (unbounded MPSC channels) on top of
+//! `std::sync::mpsc`.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    #[derive(Debug)]
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = std::sync::mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for `rand` 0.9 covering the surface this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::{random_range, random_bool, random}`. The generator is
+//! SplitMix64 — deterministic per seed, statistically fine for test-data
+//! generation, and explicitly not cryptographic.
+
+/// Core u64 generator.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_f64(&mut self) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types samplable by [`Rng::random_range`]. Generic over the
+/// output type (as in rand 0.9) so the result type drives inference of
+/// integer range literals.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng() as u128) << 64 | rng() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng() as u128) << 64 | rng() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let u = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f32 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let u = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (u as f32) * (self.end - self.start)
+    }
+}
+
+/// The user-facing sampling methods, available on any [`RngCore`].
+pub trait Rng: RngCore {
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut f = || self.next_u64();
+        range.sample(&mut f)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard(&mut || self.next_u64())
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types generatable "from the standard distribution" (`Rng::random`).
+pub trait Standard {
+    fn standard(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for bool {
+    fn standard(rng: &mut dyn FnMut() -> u64) -> bool {
+        rng() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard(rng: &mut dyn FnMut() -> u64) -> u64 {
+        rng()
+    }
+}
+
+impl Standard for f64 {
+    fn standard(rng: &mut dyn FnMut() -> u64) -> f64 {
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — the seeding generator of the xoshiro family.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// A process-global convenience RNG (`rand::rng()` in rand 0.9).
+pub fn rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5EED);
+    SeedableRng::seed_from_u64(nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: i64 = r.random_range(-5i64..6);
+            assert!((-5..6).contains(&x));
+            let y = r.random_range(0.0..2.0);
+            assert!((0.0..2.0).contains(&y));
+            let z: usize = r.random_range(1usize..8);
+            assert!((1..8).contains(&z));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+}

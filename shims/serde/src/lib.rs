@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`. The workspace derives the traits for
+//! forward compatibility but performs no (de)serialization, so marker
+//! traits with blanket impls are sufficient. The paired `serde_derive`
+//! shim expands the derives to nothing; the blanket impls below keep any
+//! `T: Serialize` bound satisfiable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,16 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace. The repo derives `Serialize`/`Deserialize` on data types but
+//! never serializes anything; the shim `serde` crate provides blanket
+//! impls, so the derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

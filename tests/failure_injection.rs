@@ -77,10 +77,14 @@ fn dropped_message_is_caught() {
     let mut exec = SpmdExec::new(&c.spmd, init).with_trace();
     exec.run().unwrap();
     let mut trace = exec.trace.take().unwrap();
-    // Remove the first Send anywhere.
+    // Remove the first outgoing message anywhere (per-element or
+    // vectorized).
     let mut removed = false;
     for evs in trace.iter_mut() {
-        if let Some(pos) = evs.iter().position(|e| matches!(e, Event::Send { .. })) {
+        if let Some(pos) = evs
+            .iter()
+            .position(|e| matches!(e, Event::Send { .. } | Event::SendVec { .. }))
+        {
             evs.remove(pos);
             removed = true;
             break;
@@ -104,16 +108,30 @@ fn misrouted_message_is_caught() {
     let mut exec = SpmdExec::new(&c.spmd, init).with_trace();
     exec.run().unwrap();
     let mut trace = exec.trace.take().unwrap();
-    // Redirect the first Recv into a different slot.
+    // Redirect the first received element into a different slot
+    // (per-element Recv or a slot inside a coalesced RecvVec).
+    let misroute = |slot: &mut phpf::spmd::exec::Slot| -> bool {
+        if let phpf::spmd::exec::Slot::Elem(v, off) = slot {
+            *slot = phpf::spmd::exec::Slot::Elem(
+                *v,
+                if *off == 0 { 1 } else { off.wrapping_sub(1) },
+            );
+            true
+        } else {
+            false
+        }
+    };
     let mut sabotaged = false;
     'outer: for evs in trace.iter_mut() {
         for e in evs.iter_mut() {
-            if let Event::Recv { slot, .. } = e {
-                if let phpf::spmd::exec::Slot::Elem(v, off) = slot {
-                    *slot = phpf::spmd::exec::Slot::Elem(*v, if *off == 0 { 1 } else { off.wrapping_sub(1) });
-                    sabotaged = true;
-                    break 'outer;
-                }
+            let hit = match e {
+                Event::Recv { slot, .. } => misroute(slot),
+                Event::RecvVec { slots, .. } => slots.iter_mut().any(misroute),
+                _ => false,
+            };
+            if hit {
+                sabotaged = true;
+                break 'outer;
             }
         }
     }
@@ -121,12 +139,13 @@ fn misrouted_message_is_caught() {
     let res = phpf::spmd::runtime::replay(&c.spmd, &trace, init);
     match res {
         Err(_) => {}
-        Ok((mems, _)) => {
+        Ok(replayed) => {
             // Replay ran; the memories must now differ from the reference.
             let mut exec2 = SpmdExec::new(&c.spmd, init);
             exec2.run().unwrap();
             let a_var = c.spmd.program.vars.lookup("a").unwrap();
-            let differs = mems
+            let differs = replayed
+                .mems
                 .iter()
                 .zip(&exec2.mems)
                 .any(|(got, want)| got.array(a_var) != want.array(a_var));

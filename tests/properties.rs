@@ -5,8 +5,8 @@
 //! version.
 
 use phpf::compile::{compile_source, Options, Version};
-use phpf::dist::{dist_owner, shrink_bounds, IterSet, MappingTable, ProcGrid};
-use phpf::ir::{parse_program, Affine, DistFormat, Expr, VarId};
+use phpf::dist::{dist_owner, shrink_bounds, IterSet, ProcGrid};
+use phpf::ir::{parse_program, Affine, DistFormat, VarId};
 use phpf::spmd::validate_against_sequential;
 use proptest::prelude::*;
 

@@ -179,5 +179,5 @@ END DO
         cell("DGEFA aligned reduction", &ali_r),
         cell("DGEFA replicated reduction", &def_r),
     ]];
-    println!("{}", phpf_bench::bench_json("ablations", &rows));
+    println!("{}", phpf_bench::bench_json("ablations", "sim", &rows));
 }

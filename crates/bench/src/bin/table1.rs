@@ -52,5 +52,5 @@ fn main() {
         "replication / selected at P=16: {:.0}x  (paper: \"more than two orders of magnitude\")",
         ratio
     );
-    println!("{}", phpf_bench::bench_json("table1", &rows));
+    println!("{}", phpf_bench::bench_json("table1", "sim", &rows));
 }

@@ -59,5 +59,5 @@ fn main() {
             100.0 * over / row[0].seconds
         );
     }
-    println!("{}", phpf_bench::bench_json("table2", &rows));
+    println!("{}", phpf_bench::bench_json("table2", "sim", &rows));
 }

@@ -50,7 +50,7 @@ fn main() {
         )
     );
 
-    println!("{}", phpf_bench::bench_json("table3", &rows));
+    println!("{}", phpf_bench::bench_json("table3", "sim", &rows));
 
     // Extension beyond the paper: a fixed 3-D distribution (the layout the
     // paper's citation [15] reports as the best hand-tuned one) — partial

@@ -119,8 +119,16 @@ pub fn render(title: &str, header: &[&str], rows: &[Vec<Cell>], procs: &[usize])
 /// Machine-readable benchmark results: a single line starting with
 /// `BENCH_JSON` so driver scripts can grep it out of the human-readable
 /// table text. One object per measured cell.
-pub fn bench_json(table: &str, rows: &[Vec<Cell>]) -> String {
-    let mut out = format!("BENCH_JSON {{\"table\":\"{}\",\"cells\":[", table);
+///
+/// `backend` names the execution vehicle that produced the numbers so
+/// scripts can tell apart cost-model simulations (`"sim"`, what the
+/// table binaries emit) from real replays (`"thread"` / `"socket"`,
+/// the `phpfc --backend` names).
+pub fn bench_json(table: &str, backend: &str, rows: &[Vec<Cell>]) -> String {
+    let mut out = format!(
+        "BENCH_JSON {{\"table\":\"{}\",\"backend\":\"{}\",\"cells\":[",
+        table, backend
+    );
     let mut first = true;
     for row in rows {
         for c in row {
@@ -179,6 +187,22 @@ mod tests {
         assert!(out.contains("#Procs"));
         assert!(out.lines().count() >= 4);
         assert!(out.contains("3.00"));
+    }
+
+    #[test]
+    fn bench_json_carries_backend() {
+        let rows = vec![vec![Cell {
+            version: "selected alignment",
+            procs: 4,
+            seconds: 1.5,
+            comm_seconds: 0.5,
+            messages: 12.0,
+        }]];
+        let line = bench_json("table1", "sim", &rows);
+        assert!(line.starts_with("BENCH_JSON {"));
+        assert!(line.contains("\"backend\":\"sim\""), "{}", line);
+        assert!(line.contains("\"table\":\"table1\""), "{}", line);
+        assert!(line.contains("\"procs\":4"), "{}", line);
     }
 
     /// Table 1's qualitative content at a reduced size: selected <

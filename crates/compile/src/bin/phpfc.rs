@@ -8,19 +8,32 @@
 //!                  [--auto-priv]       enable automatic array privatization
 //!                  [--estimate]        print the simulated SP2 cost
 //!                  [--observe]         execute and print observed traffic
+//!                  [--backend thread|socket]
+//!                                      replay the schedule on a real
+//!                                      message-passing backend (threads
+//!                                      over channels, or one OS process
+//!                                      per virtual processor over
+//!                                      sockets); implies --observe
 //!                  [--pretty]          echo the parsed program back
 //! ```
 //!
 //! With no flags it prints the compilation report (mapping decisions,
 //! guards, communication schedule).
 
-use hpf_compile::{compile_source, Options, Version};
+use hpf_compile::{compile_source, netrun, Options, Version};
 use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Thread,
+    Socket,
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: phpfc <file.hpf> [--version <v>] [--procs P1[,P2,..]] \
-         [--combine] [--auto-priv] [--estimate] [--observe] [--pretty]"
+         [--combine] [--auto-priv] [--estimate] [--observe] \
+         [--backend thread|socket] [--pretty]"
     );
     ExitCode::from(2)
 }
@@ -35,23 +48,32 @@ fn main() -> ExitCode {
     let mut estimate = false;
     let mut observe = false;
     let mut pretty = false;
+    let mut backend: Option<Backend> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--version" => {
                 let Some(v) = args.next() else { return usage() };
-                version = match v.as_str() {
-                    "replication" => Version::Replication,
-                    "producer" => Version::ProducerAlignment,
-                    "selected" => Version::SelectedAlignment,
-                    "no-reduction" => Version::NoReductionAlignment,
-                    "no-array-priv" => Version::NoArrayPrivatization,
-                    "no-partial-priv" => Version::NoPartialPrivatization,
-                    other => {
-                        eprintln!("unknown version '{}'", other);
+                version = match Version::from_flag(&v) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("unknown version '{}'", v);
                         return usage();
                     }
                 };
+            }
+            "--backend" => {
+                let Some(v) = args.next() else { return usage() };
+                backend = match v.as_str() {
+                    "thread" => Some(Backend::Thread),
+                    "socket" => Some(Backend::Socket),
+                    other => {
+                        eprintln!("unknown backend '{}' (thread|socket)", other);
+                        return usage();
+                    }
+                };
+                // A backend is only observable by replaying the schedule.
+                observe = true;
             }
             "--procs" => {
                 let Some(v) = args.next() else { return usage() };
@@ -103,7 +125,7 @@ fn main() -> ExitCode {
     }
 
     let mut opts = Options::new(version);
-    if let Some(g) = grid {
+    if let Some(g) = grid.clone() {
         opts = opts.with_grid(g);
     }
     if combine {
@@ -146,8 +168,47 @@ fn main() -> ExitCode {
                 m.fill_real(v, &data);
             }
         };
-        match compiled.observe(init) {
-            Ok((_, metrics)) => {
+        // Reference executor, or a real message-passing replay validated
+        // against it.
+        let observed = match backend {
+            None => compiled.observe(init).map(|(_, metrics)| metrics),
+            Some(Backend::Thread) => hpf_spmd::validate_replay(&compiled.spmd, init)
+                .map(|r| {
+                    println!(
+                        "backend thread: replay on {} worker threads matched the reference \
+                         executor ({} wire messages)",
+                        compiled.spmd.maps.grid.total(),
+                        r.stats.messages_sent
+                    );
+                    r.metrics
+                }),
+            Some(Backend::Socket) => {
+                let job = netrun::NetJob {
+                    source: src.clone(),
+                    version,
+                    grid: grid.clone(),
+                    combine,
+                    auto_priv,
+                    vectorize: true,
+                    fills: Vec::new(),
+                };
+                job.with_default_fills()
+                    .and_then(|job| {
+                        netrun::socket_validate_replay(&job, &netrun::NetRunConfig::default())
+                    })
+                    .map(|r| {
+                        println!(
+                            "backend socket: replay on {} worker processes matched the \
+                             reference executor ({} wire messages)",
+                            compiled.spmd.maps.grid.total(),
+                            r.stats.messages_sent
+                        );
+                        r.metrics
+                    })
+            }
+        };
+        match observed {
+            Ok(metrics) => {
                 print!("{}", hpf_compile::report::render_observed(&compiled, &metrics));
                 let cost = compiled.estimate();
                 match hpf_spmd::cross_check(&compiled.spmd, &cost, &metrics) {

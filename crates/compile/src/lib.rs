@@ -5,6 +5,7 @@
 //! *compiler versions* measured in the paper's tables so the benchmark
 //! harness and the examples can select them declaratively.
 
+pub mod netrun;
 pub mod report;
 
 use hpf_analysis::Analysis;
@@ -66,6 +67,31 @@ impl Version {
             Version::NoReductionAlignment => "no reduction alignment",
             Version::NoArrayPrivatization => "no array privatization",
             Version::NoPartialPrivatization => "no partial privatization",
+        }
+    }
+
+    /// The command-line / wire spelling (`phpfc --version <flag>`, the
+    /// socket backend's job spec).
+    pub fn flag(self) -> &'static str {
+        match self {
+            Version::Replication => "replication",
+            Version::ProducerAlignment => "producer",
+            Version::SelectedAlignment => "selected",
+            Version::NoReductionAlignment => "no-reduction",
+            Version::NoArrayPrivatization => "no-array-priv",
+            Version::NoPartialPrivatization => "no-partial-priv",
+        }
+    }
+
+    pub fn from_flag(s: &str) -> Option<Version> {
+        match s {
+            "replication" => Some(Version::Replication),
+            "producer" => Some(Version::ProducerAlignment),
+            "selected" => Some(Version::SelectedAlignment),
+            "no-reduction" => Some(Version::NoReductionAlignment),
+            "no-array-priv" => Some(Version::NoArrayPrivatization),
+            "no-partial-priv" => Some(Version::NoPartialPrivatization),
+            _ => None,
         }
     }
 }

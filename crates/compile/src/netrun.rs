@@ -1,0 +1,782 @@
+//! Multi-process orchestration for the socket backend.
+//!
+//! `phpfc --backend socket` (and the differential tests) validate a
+//! replay where every virtual processor is a real OS process exchanging
+//! frames over [`hpf_net::socket`] links. The pieces:
+//!
+//! * the *parent* ([`socket_validate_replay`]) compiles the program, runs
+//!   the reference executor for the authoritative memories, then spawns
+//!   one `networker` process per rank and plays rendezvous server: each
+//!   worker registers `(rank, data address)` over a framed control
+//!   connection, the parent answers with the job spec plus the full
+//!   address map, and finally collects one result blob per rank (stats,
+//!   wire metrics, the rank's entire memory);
+//! * each *worker* ([`worker_main`], the `networker` binary) recompiles
+//!   the same source deterministically, records the same trace with the
+//!   reference executor, meshes with its peers via
+//!   [`SocketTransport::connect_mesh`], and replays its rank's events
+//!   with [`hpf_spmd::replay_rank`] — the exact engine the threaded
+//!   backend uses, just over sockets;
+//! * the parent merges the per-rank [`CommMetrics`] and checks every
+//!   owner slot bit-for-bit against the reference memories
+//!   ([`hpf_spmd::check_owner_slots`]).
+//!
+//! Every blocking step carries a deadline (rendezvous accepts, job
+//! dispatch, result collection, child reaping), so a worker that dies or
+//! wedges surfaces as an error with its rank attached, never a hang.
+
+use crate::{compile_source, Compiled, Options, Version};
+use hpf_ir::interp::Memory;
+use hpf_ir::{Program, ScalarTy};
+use hpf_net::frame::{Dec, Enc, FrameKind, FrameReader, FrameWriter, ReadStep};
+use hpf_net::socket::{connect_backoff, Addr, AddrKind, NetListener, SocketConfig, SocketTransport};
+use hpf_net::NetError;
+use hpf_spmd::metrics::{self, CommMetrics};
+use hpf_spmd::{check_owner_slots, replay_rank, Replayed, ReplayStats, SpmdExec};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Environment variable naming the parent's rendezvous address for a
+/// spawned worker.
+pub const ENV_PARENT: &str = "PHPF_NETRUN_PARENT";
+/// Environment variable carrying a worker's rank.
+pub const ENV_RANK: &str = "PHPF_NETRUN_RANK";
+/// Optional override for the worker binary path.
+pub const ENV_WORKER_BIN: &str = "PHPF_NET_WORKER";
+
+/// Everything a worker needs to reproduce the parent's compilation and
+/// replay deterministically. Workers recompute the program, trace and
+/// initial memories from this spec instead of shipping compiled state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetJob {
+    pub source: String,
+    pub version: Version,
+    pub grid: Option<Vec<usize>>,
+    pub combine: bool,
+    pub auto_priv: bool,
+    /// Record a vectorized (coalesced) trace; `false` replays the
+    /// per-element schedule.
+    pub vectorize: bool,
+    /// Initial contents of REAL arrays, by variable name.
+    pub fills: Vec<(String, Vec<f64>)>,
+}
+
+impl NetJob {
+    pub fn new(source: impl Into<String>) -> NetJob {
+        NetJob {
+            source: source.into(),
+            version: Version::SelectedAlignment,
+            grid: None,
+            combine: false,
+            auto_priv: false,
+            vectorize: true,
+            fills: Vec::new(),
+        }
+    }
+
+    pub fn options(&self) -> Options {
+        let mut opts = Options::new(self.version);
+        if let Some(g) = &self.grid {
+            opts = opts.with_grid(g.clone());
+        }
+        if self.combine {
+            opts = opts.with_message_combining();
+        }
+        if self.auto_priv {
+            opts.core.auto_array_priv = true;
+        }
+        opts
+    }
+
+    pub fn compile(&self) -> Result<Compiled, String> {
+        compile_source(&self.source, self.options())
+    }
+
+    /// Fill every REAL array with the deterministic default pattern
+    /// (`1.0 + k * 0.25`) used by `phpfc --observe`.
+    pub fn with_default_fills(mut self) -> Result<NetJob, String> {
+        let compiled = self.compile()?;
+        self.fills = compiled
+            .spmd
+            .program
+            .vars
+            .arrays()
+            .filter(|(_, info)| info.ty == ScalarTy::Real)
+            .map(|(_, info)| {
+                let n = info.shape().unwrap().len() as usize;
+                (
+                    info.name.clone(),
+                    (0..n).map(|k| 1.0 + k as f64 * 0.25).collect(),
+                )
+            })
+            .collect();
+        Ok(self)
+    }
+}
+
+/// Deadlines and address family for a multi-process run.
+#[derive(Debug, Clone, Copy)]
+pub struct NetRunConfig {
+    pub addr_kind: AddrKind,
+    /// Per-link send/recv deadline inside the mesh.
+    pub io_deadline: Duration,
+    /// Mesh establishment and rendezvous deadline.
+    pub connect_deadline: Duration,
+    /// How long the parent waits for each worker's result.
+    pub result_deadline: Duration,
+    /// Fault injection: this rank aborts its process right after the mesh
+    /// handshake, so its peers exercise the dead-peer detection path.
+    pub fail_rank: Option<usize>,
+}
+
+impl Default for NetRunConfig {
+    fn default() -> Self {
+        NetRunConfig {
+            addr_kind: AddrKind::default(),
+            io_deadline: Duration::from_secs(5),
+            connect_deadline: Duration::from_secs(10),
+            result_deadline: Duration::from_secs(60),
+            fail_rank: None,
+        }
+    }
+}
+
+const NO_RANK: u32 = u32::MAX;
+
+fn encode_job(job: &NetJob, cfg: &NetRunConfig, nproc: usize, addrs: &[Addr]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(&job.source);
+    e.str(job.version.flag());
+    match &job.grid {
+        Some(g) => {
+            e.u8(1);
+            e.u32(g.len() as u32);
+            for &d in g {
+                e.u32(d as u32);
+            }
+        }
+        None => e.u8(0),
+    }
+    e.boolean(job.combine);
+    e.boolean(job.auto_priv);
+    e.boolean(job.vectorize);
+    e.u32(job.fills.len() as u32);
+    for (name, data) in &job.fills {
+        e.str(name);
+        e.u32(data.len() as u32);
+        for &x in data {
+            e.f64(x);
+        }
+    }
+    e.u32(cfg.fail_rank.map(|r| r as u32).unwrap_or(NO_RANK));
+    e.u64(cfg.io_deadline.as_millis() as u64);
+    e.u64(cfg.connect_deadline.as_millis() as u64);
+    e.u32(nproc as u32);
+    e.u32(addrs.len() as u32);
+    for a in addrs {
+        e.str(&a.to_string());
+    }
+    e.buf
+}
+
+struct WireJob {
+    job: NetJob,
+    fail_rank: Option<usize>,
+    io_deadline: Duration,
+    connect_deadline: Duration,
+    nproc: usize,
+    addrs: Vec<Addr>,
+}
+
+fn decode_job(payload: &[u8]) -> Result<WireJob, String> {
+    let mut d = Dec::new(payload);
+    let source = d.str().map_err(|e| e.to_string())?;
+    let flag = d.str().map_err(|e| e.to_string())?;
+    let version =
+        Version::from_flag(&flag).ok_or_else(|| format!("unknown version flag {:?}", flag))?;
+    let grid = match d.u8().map_err(|e| e.to_string())? {
+        0 => None,
+        _ => {
+            let n = d.u32().map_err(|e| e.to_string())? as usize;
+            let mut g = Vec::with_capacity(n);
+            for _ in 0..n {
+                g.push(d.u32().map_err(|e| e.to_string())? as usize);
+            }
+            Some(g)
+        }
+    };
+    let combine = d.boolean().map_err(|e| e.to_string())?;
+    let auto_priv = d.boolean().map_err(|e| e.to_string())?;
+    let vectorize = d.boolean().map_err(|e| e.to_string())?;
+    let nfills = d.u32().map_err(|e| e.to_string())? as usize;
+    let mut fills = Vec::with_capacity(nfills);
+    for _ in 0..nfills {
+        let name = d.str().map_err(|e| e.to_string())?;
+        let n = d.u32().map_err(|e| e.to_string())? as usize;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(d.f64().map_err(|e| e.to_string())?);
+        }
+        fills.push((name, data));
+    }
+    let fail_rank = match d.u32().map_err(|e| e.to_string())? {
+        NO_RANK => None,
+        r => Some(r as usize),
+    };
+    let io_deadline = Duration::from_millis(d.u64().map_err(|e| e.to_string())?);
+    let connect_deadline = Duration::from_millis(d.u64().map_err(|e| e.to_string())?);
+    let nproc = d.u32().map_err(|e| e.to_string())? as usize;
+    let naddrs = d.u32().map_err(|e| e.to_string())? as usize;
+    let mut addrs = Vec::with_capacity(naddrs);
+    for _ in 0..naddrs {
+        let s = d.str().map_err(|e| e.to_string())?;
+        addrs.push(Addr::parse(&s).map_err(|e| e.to_string())?);
+    }
+    d.done().map_err(|e| e.to_string())?;
+    Ok(WireJob {
+        job: NetJob {
+            source,
+            version,
+            grid,
+            combine,
+            auto_priv,
+            vectorize,
+            fills,
+        },
+        fail_rank,
+        io_deadline,
+        connect_deadline,
+        nproc,
+        addrs,
+    })
+}
+
+/// The executor, the threaded runtime and the socket workers all key
+/// pattern counters by `&'static str`; worker results arrive as owned
+/// strings and must map back onto the same statics.
+fn intern_pattern(name: &str) -> Option<&'static str> {
+    [
+        "local",
+        "shift",
+        "broadcast",
+        "transpose",
+        "point-to-point",
+        metrics::REDUCE,
+        metrics::UNTRACKED,
+        metrics::ELEMENT,
+        metrics::CONTROL,
+    ]
+    .into_iter()
+    .find(|&k| k == name)
+}
+
+fn encode_metrics(e: &mut Enc, m: &CommMetrics) {
+    e.u32(m.per_proc.len() as u32);
+    for p in &m.per_proc {
+        e.u64(p.sent_messages);
+        e.u64(p.sent_bytes);
+        e.u64(p.recv_messages);
+        e.u64(p.recv_bytes);
+    }
+    e.u32(m.per_pattern.len() as u32);
+    for (k, c) in &m.per_pattern {
+        e.str(k);
+        e.u64(c.messages);
+        e.u64(c.bytes);
+    }
+    e.u32(m.per_op.len() as u32);
+    for o in &m.per_op {
+        e.u64(o.messages);
+        e.u64(o.bytes);
+        e.u64(o.elements);
+    }
+    e.u64(m.untracked_messages);
+    e.u64(m.max_in_flight);
+}
+
+fn decode_metrics(d: &mut Dec) -> Result<CommMetrics, String> {
+    let nproc = d.u32().map_err(|e| e.to_string())? as usize;
+    let nops_placeholder = 0;
+    let mut m = CommMetrics::new(nproc, nops_placeholder);
+    for p in m.per_proc.iter_mut() {
+        p.sent_messages = d.u64().map_err(|e| e.to_string())?;
+        p.sent_bytes = d.u64().map_err(|e| e.to_string())?;
+        p.recv_messages = d.u64().map_err(|e| e.to_string())?;
+        p.recv_bytes = d.u64().map_err(|e| e.to_string())?;
+    }
+    let npat = d.u32().map_err(|e| e.to_string())? as usize;
+    for _ in 0..npat {
+        let name = d.str().map_err(|e| e.to_string())?;
+        let key = intern_pattern(&name)
+            .ok_or_else(|| format!("unknown communication pattern {:?} in result", name))?;
+        let c = m.per_pattern.entry(key).or_default();
+        c.messages = d.u64().map_err(|e| e.to_string())?;
+        c.bytes = d.u64().map_err(|e| e.to_string())?;
+    }
+    let nops = d.u32().map_err(|e| e.to_string())? as usize;
+    m.per_op = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        m.per_op.push(metrics::OpMetrics {
+            messages: d.u64().map_err(|e| e.to_string())?,
+            bytes: d.u64().map_err(|e| e.to_string())?,
+            elements: d.u64().map_err(|e| e.to_string())?,
+        });
+    }
+    m.untracked_messages = d.u64().map_err(|e| e.to_string())?;
+    m.max_in_flight = d.u64().map_err(|e| e.to_string())?;
+    Ok(m)
+}
+
+/// Serialise one rank's entire memory: variables in declaration order,
+/// arrays as `len` tagged values, scalars tagged with a sentinel length.
+fn encode_memory(e: &mut Enc, program: &Program, mem: &Memory) {
+    const SCALAR: u32 = u32::MAX;
+    e.u32(program.vars.len() as u32);
+    for (v, info) in program.vars.iter() {
+        match info.shape() {
+            Some(sh) => {
+                let n = sh.len() as usize;
+                e.u32(n as u32);
+                for off in 0..n {
+                    e.value(mem.array(v).get(off));
+                }
+            }
+            None => {
+                e.u32(SCALAR);
+                e.value(mem.scalar(v));
+            }
+        }
+    }
+}
+
+fn decode_memory(d: &mut Dec, program: &Program) -> Result<Memory, String> {
+    const SCALAR: u32 = u32::MAX;
+    let mut mem = Memory::zeroed(program);
+    let n = d.u32().map_err(|e| e.to_string())? as usize;
+    if n != program.vars.len() {
+        return Err(format!(
+            "memory dump has {} variables, program has {}",
+            n,
+            program.vars.len()
+        ));
+    }
+    for (v, info) in program.vars.iter() {
+        let tag = d.u32().map_err(|e| e.to_string())?;
+        match info.shape() {
+            Some(sh) if tag != SCALAR => {
+                let len = sh.len() as usize;
+                if tag as usize != len {
+                    return Err(format!(
+                        "array {} dump has {} elements, shape says {}",
+                        info.name, tag, len
+                    ));
+                }
+                for off in 0..len {
+                    let val = d.value().map_err(|e| e.to_string())?;
+                    mem.array_mut(v)
+                        .set(off, val)
+                        .map_err(|e| format!("array {}: {:?}", info.name, e))?;
+                }
+            }
+            None if tag == SCALAR => {
+                mem.set_scalar(v, d.value().map_err(|e| e.to_string())?);
+            }
+            _ => {
+                return Err(format!(
+                    "variable {} kind mismatch in memory dump",
+                    info.name
+                ))
+            }
+        }
+    }
+    Ok(mem)
+}
+
+fn encode_result(res: &Result<(ReplayStats, CommMetrics, Memory), String>, program: &Program) -> Vec<u8> {
+    let mut e = Enc::new();
+    match res {
+        Ok((stats, m, mem)) => {
+            e.u8(1);
+            e.u64(stats.messages_sent);
+            e.u64(stats.events);
+            encode_metrics(&mut e, m);
+            encode_memory(&mut e, program, mem);
+        }
+        Err(msg) => {
+            e.u8(0);
+            e.str(msg);
+        }
+    }
+    e.buf
+}
+
+fn decode_result(
+    payload: &[u8],
+    program: &Program,
+) -> Result<Result<(ReplayStats, CommMetrics, Memory), String>, String> {
+    let mut d = Dec::new(payload);
+    match d.u8().map_err(|e| e.to_string())? {
+        0 => Ok(Err(d.str().map_err(|e| e.to_string())?)),
+        _ => {
+            let stats = ReplayStats {
+                messages_sent: d.u64().map_err(|e| e.to_string())?,
+                events: d.u64().map_err(|e| e.to_string())?,
+            };
+            let m = decode_metrics(&mut d)?;
+            let mem = decode_memory(&mut d, program)?;
+            d.done().map_err(|e| e.to_string())?;
+            Ok(Ok((stats, m, mem)))
+        }
+    }
+}
+
+fn make_init<'a>(
+    compiled: &Compiled,
+    fills: &'a [(String, Vec<f64>)],
+) -> Result<impl Fn(&mut Memory) + Sync + 'a, String> {
+    let mut resolved = Vec::with_capacity(fills.len());
+    for (name, data) in fills {
+        let v = compiled
+            .spmd
+            .program
+            .vars
+            .lookup(name)
+            .ok_or_else(|| format!("fill names unknown variable {:?}", name))?;
+        resolved.push((v, data));
+    }
+    Ok(move |m: &mut Memory| {
+        for &(v, data) in &resolved {
+            m.fill_real(v, data);
+        }
+    })
+}
+
+/// Locate (building on demand) the `networker` binary. `cargo test` at
+/// the workspace root compiles only library targets, so the worker may
+/// not exist yet; in that case it is built with a nested cargo call.
+pub fn worker_bin() -> Result<PathBuf, String> {
+    if let Ok(p) = std::env::var(ENV_WORKER_BIN) {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(format!("{} points at missing {}", ENV_WORKER_BIN, p.display()));
+    }
+    let mut candidates = Vec::new();
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(dir) = exe.parent() {
+            candidates.push(dir.join("networker"));
+            if let Some(up) = dir.parent() {
+                candidates.push(up.join("networker"));
+            }
+        }
+    }
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    candidates.push(workspace.join("target").join(profile).join("networker"));
+    for c in &candidates {
+        if c.is_file() {
+            return Ok(c.clone());
+        }
+    }
+    let mut cmd = Command::new("cargo");
+    cmd.args(["build", "-p", "hpf-compile", "--bin", "networker"]);
+    if !cfg!(debug_assertions) {
+        cmd.arg("--release");
+    }
+    cmd.current_dir(&workspace);
+    let status = cmd
+        .status()
+        .map_err(|e| format!("building networker: {}", e))?;
+    if !status.success() {
+        return Err(format!("building networker failed: {}", status));
+    }
+    for c in &candidates {
+        if c.is_file() {
+            return Ok(c.clone());
+        }
+    }
+    Err("networker binary not found after building it".into())
+}
+
+/// Wait for every child to exit, escalating to SIGKILL after a grace
+/// period so a wedged worker cannot wedge the parent.
+fn reap(children: &mut [(usize, Child)], grace: Duration) -> Vec<String> {
+    let start = Instant::now();
+    let mut errors = Vec::new();
+    let mut pending: Vec<bool> = vec![true; children.len()];
+    loop {
+        let mut alive = 0;
+        for (i, (rank, child)) in children.iter_mut().enumerate() {
+            if !pending[i] {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    pending[i] = false;
+                    if !status.success() {
+                        errors.push(format!("worker {} exited with {}", rank, status));
+                    }
+                }
+                Ok(None) => alive += 1,
+                Err(e) => {
+                    pending[i] = false;
+                    errors.push(format!("worker {}: wait failed: {}", rank, e));
+                }
+            }
+        }
+        if alive == 0 {
+            return errors;
+        }
+        if start.elapsed() >= grace {
+            for (i, (rank, child)) in children.iter_mut().enumerate() {
+                if pending[i] {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    errors.push(format!("worker {} killed after {:?} grace", rank, grace));
+                }
+            }
+            return errors;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+struct Conn {
+    reader: FrameReader<hpf_net::socket::NetStream>,
+    writer: FrameWriter<hpf_net::socket::NetStream>,
+}
+
+fn read_blob(reader: &mut FrameReader<hpf_net::socket::NetStream>, what: &str) -> Result<Vec<u8>, String> {
+    match reader.read_step() {
+        Ok(ReadStep::Frame((FrameKind::Blob, payload))) => Ok(payload),
+        Ok(ReadStep::Frame((kind, _))) => {
+            Err(format!("{}: expected a Blob frame, got {:?}", what, kind))
+        }
+        Ok(ReadStep::Eof) => Err(format!("{}: connection closed", what)),
+        Ok(ReadStep::Idle) => Err(format!("{}: no frame within the deadline", what)),
+        Err(e) => Err(format!("{}: {}", what, e)),
+    }
+}
+
+/// Run the job's replay with one OS process per virtual processor and
+/// validate it exactly like the threaded `validate_replay`: owner slots
+/// bit-for-bit against the reference executor, metrics merged over ranks.
+pub fn socket_validate_replay(job: &NetJob, cfg: &NetRunConfig) -> Result<Replayed, String> {
+    let compiled = job.compile()?;
+    let nproc = compiled.spmd.maps.grid.total();
+    let init = make_init(&compiled, &job.fills)?;
+    let mut exec = SpmdExec::new(&compiled.spmd, &init).with_trace();
+    if !job.vectorize {
+        exec = exec.without_vectorization();
+    }
+    exec.run()
+        .map_err(|e| format!("reference run failed: {:?}", e))?;
+
+    let listener = NetListener::bind(cfg.addr_kind, "netrun").map_err(|e| e.to_string())?;
+    let parent_addr = listener.addr().map_err(|e| e.to_string())?;
+    let bin = worker_bin()?;
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(nproc);
+    for rank in 0..nproc {
+        let child = Command::new(&bin)
+            .env(ENV_PARENT, parent_addr.to_string())
+            .env(ENV_RANK, rank.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning worker {}: {}", rank, e))?;
+        children.push((rank, child));
+    }
+
+    let result = drive_workers(job, cfg, &compiled, nproc, &listener);
+    let reap_errors = reap(&mut children, cfg.result_deadline);
+    let (stats, metrics, mems) = match result {
+        Ok(r) => r,
+        Err(mut e) => {
+            // Child exit diagnostics often explain the protocol error.
+            if !reap_errors.is_empty() {
+                e = format!("{}; {}", e, reap_errors.join("; "));
+            }
+            return Err(e);
+        }
+    };
+    if !reap_errors.is_empty() {
+        return Err(reap_errors.join("; "));
+    }
+    check_owner_slots(&compiled.spmd, &mems, &exec.mems)
+        .map_err(|e| format!("processes vs reference: {}", e))?;
+    Ok(Replayed {
+        mems,
+        stats,
+        metrics,
+    })
+}
+
+type DriveOutput = (ReplayStats, CommMetrics, Vec<Memory>);
+
+fn drive_workers(
+    job: &NetJob,
+    cfg: &NetRunConfig,
+    compiled: &Compiled,
+    nproc: usize,
+    listener: &NetListener,
+) -> Result<DriveOutput, String> {
+    // Rendezvous: every worker registers (rank, data address).
+    let mut conns: Vec<Option<Conn>> = (0..nproc).map(|_| None).collect();
+    let mut addrs: Vec<Option<Addr>> = (0..nproc).map(|_| None).collect();
+    for _ in 0..nproc {
+        let stream = listener
+            .accept_deadline(cfg.connect_deadline)
+            .map_err(|e| format!("rendezvous: {}", e))?;
+        stream
+            .set_read_timeout(Some(cfg.result_deadline))
+            .map_err(|e| format!("rendezvous: set timeout: {}", e))?;
+        let reader_stream = stream
+            .try_clone()
+            .map_err(|e| format!("rendezvous: clone stream: {}", e))?;
+        let mut reader = FrameReader::new(reader_stream);
+        let writer = FrameWriter::new(stream);
+        let payload = read_blob(&mut reader, "worker registration")?;
+        let mut d = Dec::new(&payload);
+        let rank = d.u32().map_err(|e| e.to_string())? as usize;
+        let addr_s = d.str().map_err(|e| e.to_string())?;
+        d.done().map_err(|e| e.to_string())?;
+        if rank >= nproc {
+            return Err(format!("worker registered bogus rank {}", rank));
+        }
+        if conns[rank].is_some() {
+            return Err(format!("worker rank {} registered twice", rank));
+        }
+        addrs[rank] = Some(Addr::parse(&addr_s).map_err(|e| e.to_string())?);
+        conns[rank] = Some(Conn { reader, writer });
+    }
+    let addrs: Vec<Addr> = addrs.into_iter().map(|a| a.unwrap()).collect();
+
+    // Dispatch the job (with the address map) to every worker.
+    let job_blob = encode_job(job, cfg, nproc, &addrs);
+    for (rank, conn) in conns.iter_mut().enumerate() {
+        let conn = conn.as_mut().unwrap();
+        conn.writer
+            .write(FrameKind::Blob, &job_blob)
+            .map_err(|e| format!("dispatching job to worker {}: {}", rank, e))?;
+    }
+
+    // Collect one result per rank.
+    let program = &compiled.spmd.program;
+    let mut stats = ReplayStats::default();
+    let mut metrics = CommMetrics::new(nproc, compiled.spmd.comms.len());
+    let mut mems: Vec<Option<Memory>> = (0..nproc).map(|_| None).collect();
+    let mut worker_errors = Vec::new();
+    for (rank, conn) in conns.iter_mut().enumerate() {
+        let conn = conn.as_mut().unwrap();
+        let payload = read_blob(&mut conn.reader, &format!("result from worker {}", rank))?;
+        match decode_result(&payload, program)? {
+            Ok((s, m, mem)) => {
+                stats.messages_sent += s.messages_sent;
+                stats.events += s.events;
+                metrics.merge(&m);
+                mems[rank] = Some(mem);
+            }
+            Err(msg) => worker_errors.push(format!("worker {}: {}", rank, msg)),
+        }
+    }
+    if !worker_errors.is_empty() {
+        return Err(worker_errors.join("; "));
+    }
+    let mems: Vec<Memory> = mems.into_iter().map(|m| m.unwrap()).collect();
+    Ok((stats, metrics, mems))
+}
+
+/// Entry point of the `networker` binary: one spawned process per rank.
+/// Reads its rank and the parent address from the environment, registers,
+/// receives the job, meshes with its peers, replays its rank and reports
+/// back.
+pub fn worker_main() -> Result<(), String> {
+    let parent = std::env::var(ENV_PARENT)
+        .map_err(|_| format!("{} not set (run via the socket backend driver)", ENV_PARENT))?;
+    let rank: usize = std::env::var(ENV_RANK)
+        .map_err(|_| format!("{} not set", ENV_RANK))?
+        .parse()
+        .map_err(|e| format!("bad {}: {}", ENV_RANK, e))?;
+    let parent_addr = Addr::parse(&parent).map_err(|e| e.to_string())?;
+    let kind = match parent_addr {
+        Addr::Tcp(_) => AddrKind::Tcp,
+        Addr::Unix(_) => AddrKind::Unix,
+    };
+    let listener =
+        NetListener::bind(kind, &format!("rank{}", rank)).map_err(|e| e.to_string())?;
+    let my_addr = listener.addr().map_err(|e| e.to_string())?;
+
+    let stream = connect_backoff(&parent_addr, Duration::from_secs(10))
+        .map_err(|e| format!("reaching parent: {}", e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("set timeout: {}", e))?;
+    let reader_stream = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {}", e))?;
+    let mut reader = FrameReader::new(reader_stream);
+    let mut writer = FrameWriter::new(stream);
+
+    let mut e = Enc::new();
+    e.u32(rank as u32);
+    e.str(&my_addr.to_string());
+    writer
+        .write(FrameKind::Blob, &e.buf)
+        .map_err(|e| format!("registering with parent: {}", e))?;
+
+    let payload = read_blob(&mut reader, "job from parent")?;
+    let wire = decode_job(&payload)?;
+    let compiled = wire.job.compile()?;
+    let program = &compiled.spmd.program;
+
+    let result = run_rank(&wire, rank, &compiled, &listener);
+    writer
+        .write(FrameKind::Blob, &encode_result(&result, program))
+        .map_err(|e| format!("sending result: {}", e))?;
+    result.map(|_| ())
+}
+
+fn run_rank(
+    wire: &WireJob,
+    rank: usize,
+    compiled: &Compiled,
+    listener: &NetListener,
+) -> Result<(ReplayStats, CommMetrics, Memory), String> {
+    let nproc = compiled.spmd.maps.grid.total();
+    if nproc != wire.nproc {
+        return Err(format!(
+            "compiled grid has {} processors, job says {}",
+            nproc, wire.nproc
+        ));
+    }
+    let init = make_init(compiled, &wire.job.fills)?;
+    // Recompute the trace deterministically — same compiler, same source,
+    // same fills as the parent and every sibling.
+    let mut exec = SpmdExec::new(&compiled.spmd, &init).with_trace();
+    if !wire.job.vectorize {
+        exec = exec.without_vectorization();
+    }
+    exec.run()
+        .map_err(|e| format!("reference run failed: {:?}", e))?;
+    let trace = exec.trace.take().expect("trace recorded");
+
+    let mut mem = Memory::zeroed(&compiled.spmd.program);
+    init(&mut mem);
+    let mesh_cfg = SocketConfig {
+        io_deadline: wire.io_deadline,
+        connect_deadline: wire.connect_deadline,
+    };
+    let mut transport =
+        SocketTransport::connect_mesh(rank, nproc, listener, &wire.addrs, mesh_cfg)
+            .map_err(|e: NetError| format!("proc {}: mesh: {}", rank, e))?;
+    if wire.fail_rank == Some(rank) {
+        // Fault injection: die abruptly after the handshake so peers see
+        // a closed link mid-replay, not a clean goodbye.
+        std::process::abort();
+    }
+    let (stats, metrics) = replay_rank(&compiled.spmd, &trace[rank], &mut mem, &mut transport)?;
+    Ok((stats, metrics, mem))
+}

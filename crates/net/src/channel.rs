@@ -1,0 +1,205 @@
+//! The in-process backend: one endpoint per thread, `std::sync::mpsc`
+//! channels per ordered rank pair. This is the transport the threaded
+//! replay runtime historically used inline; it now lives behind
+//! [`Transport`] so the runtime is backend-agnostic.
+//!
+//! The in-flight gauge is shared across the whole group (an atomic counter
+//! incremented on send, decremented on receive), so its peak reflects real
+//! cross-thread overlap of sent-but-not-yet-received messages.
+
+use crate::{NetError, NetErrorKind, Transport, WireMsg};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default receive deadline: generous for a healthy in-process replay, but
+/// bounded so a sabotaged schedule is detected instead of deadlocking.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(10);
+
+#[derive(Debug, Default)]
+struct Gauge {
+    in_flight: AtomicI64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    fn sent(&self) {
+        let n = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(n.max(0) as u64, Ordering::Relaxed);
+    }
+
+    fn received(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One rank's endpoint of an in-process transport group.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    rank: usize,
+    nproc: usize,
+    txs: Vec<Option<Sender<WireMsg>>>,
+    rxs: Vec<Option<Receiver<WireMsg>>>,
+    gauge: Arc<Gauge>,
+    deadline: Duration,
+}
+
+/// Build a fully-connected group of `nproc` in-process endpoints sharing
+/// one in-flight gauge, with the default receive deadline.
+pub fn channel_group(nproc: usize) -> Vec<ChannelTransport> {
+    channel_group_with_deadline(nproc, DEFAULT_DEADLINE)
+}
+
+/// [`channel_group`] with an explicit receive deadline.
+pub fn channel_group_with_deadline(nproc: usize, deadline: Duration) -> Vec<ChannelTransport> {
+    let gauge = Arc::new(Gauge::default());
+    let mut txs: Vec<Vec<Option<Sender<WireMsg>>>> =
+        (0..nproc).map(|_| (0..nproc).map(|_| None).collect()).collect();
+    let mut rxs: Vec<Vec<Option<Receiver<WireMsg>>>> =
+        (0..nproc).map(|_| (0..nproc).map(|_| None).collect()).collect();
+    for from in 0..nproc {
+        for to in 0..nproc {
+            if from == to {
+                continue;
+            }
+            let (s, r) = channel();
+            txs[from][to] = Some(s);
+            rxs[to][from] = Some(r);
+        }
+    }
+    txs.into_iter()
+        .zip(rxs)
+        .enumerate()
+        .map(|(rank, (txs, rxs))| ChannelTransport {
+            rank,
+            nproc,
+            txs,
+            rxs,
+            gauge: gauge.clone(),
+            deadline,
+        })
+        .collect()
+}
+
+impl Transport for ChannelTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nproc(&self) -> usize {
+        self.nproc
+    }
+
+    fn send(&mut self, to: usize, msg: &WireMsg) -> Result<(), NetError> {
+        let tx = self
+            .txs
+            .get(to)
+            .and_then(|t| t.as_ref())
+            .ok_or_else(|| {
+                NetError::new(NetErrorKind::Protocol, format!("no link to rank {}", to))
+                    .on_link(self.rank, to)
+            })?;
+        // Cloning the message bumps the payload Arc; the value buffer
+        // itself is shared with the receiver, never copied.
+        tx.send(msg.clone()).map_err(|_| {
+            NetError::new(NetErrorKind::Closed, "receiver endpoint dropped")
+                .on_link(self.rank, to)
+        })?;
+        self.gauge.sent();
+        Ok(())
+    }
+
+    fn recv(&mut self, from: usize) -> Result<WireMsg, NetError> {
+        let rank = self.rank;
+        let deadline = self.deadline;
+        let rx = self
+            .rxs
+            .get(from)
+            .and_then(|r| r.as_ref())
+            .ok_or_else(|| {
+                NetError::new(NetErrorKind::Protocol, format!("no link from rank {}", from))
+                    .on_link(rank, from)
+            })?;
+        match rx.recv_timeout(deadline) {
+            Ok(m) => {
+                self.gauge.received();
+                Ok(m)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(NetError::new(
+                NetErrorKind::Deadline,
+                format!("no message within {:?}", deadline),
+            )
+            .on_link(rank, from)),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::new(
+                NetErrorKind::Closed,
+                "sender endpoint dropped",
+            )
+            .on_link(rank, from)),
+        }
+    }
+
+    fn peak_in_flight(&self) -> u64 {
+        self.gauge.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::Value;
+
+    #[test]
+    fn roundtrip_between_threads() {
+        let mut group = channel_group(2);
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            a.send(1, &WireMsg::One(Value::Int(42))).unwrap();
+            let m = a.recv(1).unwrap();
+            assert_eq!(m, WireMsg::One(Value::Real(0.5)));
+            a.peak_in_flight()
+        });
+        assert_eq!(b.recv(0).unwrap(), WireMsg::One(Value::Int(42)));
+        b.send(0, &WireMsg::One(Value::Real(0.5))).unwrap();
+        let peak = h.join().unwrap();
+        assert!(peak >= 1);
+    }
+
+    #[test]
+    fn section_payload_is_shared_not_cloned() {
+        let mut group = channel_group(2);
+        let mut b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        let payload = std::sync::Arc::new(vec![Value::Int(1), Value::Int(2)]);
+        let msg = WireMsg::Many(payload.clone());
+        a.send(1, &msg).unwrap();
+        match b.recv(0).unwrap() {
+            WireMsg::Many(got) => {
+                assert!(std::sync::Arc::ptr_eq(&got, &payload), "buffer was copied")
+            }
+            other => panic!("expected a section, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_a_silent_peer() {
+        let mut group = channel_group_with_deadline(2, Duration::from_millis(50));
+        let mut a = group.remove(0);
+        let start = std::time::Instant::now();
+        let err = a.recv(1).unwrap_err();
+        assert_eq!(err.kind, NetErrorKind::Deadline);
+        assert_eq!(err.link, Some((0, 1)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn dropped_sender_is_closed_not_hang() {
+        let mut group = channel_group(2);
+        let b = group.pop().unwrap();
+        let mut a = group.pop().unwrap();
+        drop(b);
+        let err = a.recv(1).unwrap_err();
+        assert_eq!(err.kind, NetErrorKind::Closed);
+    }
+}

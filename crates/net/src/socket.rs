@@ -1,0 +1,861 @@
+//! The multi-process backend: one OS process per virtual processor,
+//! full-mesh TCP or Unix-domain links.
+//!
+//! Mesh establishment follows the classic rank-ordered scheme: rank `i`
+//! actively connects to every lower rank (with bounded exponential
+//! backoff, since peers come up in arbitrary order) and accepts one
+//! connection from every higher rank. Each link starts with a rank
+//! exchange — the connector sends `Hello{from, to, nproc}` as frame 0 and
+//! the acceptor validates it and answers with its own `Hello` — so a
+//! mis-wired or mis-sized mesh fails at connect time, not mid-replay.
+//!
+//! After the handshake each link gets a dedicated reader thread that
+//! pulls frames off the wire into a per-peer queue. [`SocketTransport::recv`]
+//! drains that queue with the configured deadline, so a peer that died
+//! (EOF without `Bye` → `Closed`), corrupted the stream (codec fault) or
+//! simply went silent (`Deadline`) is always *detected* within bounded
+//! time, never waited on forever. Reader threads poll with a short read
+//! timeout: an idle link just keeps waiting, while a timeout in the middle
+//! of a frame is reported as truncation.
+//!
+//! The in-flight gauge counts frames read off the wire but not yet
+//! consumed by `recv` — the receive-queue depth, the socket-world analogue
+//! of the channel backend's sent-but-not-received counter.
+
+use crate::frame::{self, Dec, Enc, FrameKind, FrameReader, FrameWriter, ReadStep};
+use crate::{NetError, NetErrorKind, Transport, WireMsg};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reader threads wake at this interval to notice teardown and to bound
+/// how long a half-delivered frame can stall before it is called
+/// truncated.
+const POLL: Duration = Duration::from_millis(500);
+
+/// Accept loops poll at this interval while waiting for peers.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Backoff for connection establishment: starts at 1ms, doubles, caps
+/// here; the total is always bounded by the connect deadline.
+const BACKOFF_CAP: Duration = Duration::from_millis(50);
+
+/// Which address family a listener should bind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrKind {
+    Tcp,
+    Unix,
+}
+
+impl Default for AddrKind {
+    fn default() -> Self {
+        if cfg!(unix) {
+            AddrKind::Unix
+        } else {
+            AddrKind::Tcp
+        }
+    }
+}
+
+impl AddrKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            AddrKind::Tcp => "tcp",
+            AddrKind::Unix => "unix",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<AddrKind> {
+        match s {
+            "tcp" => Some(AddrKind::Tcp),
+            "unix" => Some(AddrKind::Unix),
+            _ => None,
+        }
+    }
+}
+
+/// A peer address, printable as `tcp:<host:port>` or `unix:<path>` so it
+/// can travel through environment variables and rendezvous messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Tcp(a) => write!(f, "tcp:{}", a),
+            Addr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+impl Addr {
+    pub fn parse(s: &str) -> Result<Addr, NetError> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            Ok(Addr::Tcp(rest.to_string()))
+        } else if let Some(rest) = s.strip_prefix("unix:") {
+            Ok(Addr::Unix(PathBuf::from(rest)))
+        } else {
+            Err(NetError::new(
+                NetErrorKind::Protocol,
+                format!("unparseable address {:?} (want tcp:... or unix:...)", s),
+            ))
+        }
+    }
+}
+
+/// A connected stream of either family.
+#[derive(Debug)]
+pub enum NetStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl NetStream {
+    pub fn try_clone(&self) -> std::io::Result<NetStream> {
+        match self {
+            NetStream::Tcp(s) => s.try_clone().map(NetStream::Tcp),
+            NetStream::Unix(s) => s.try_clone().map(NetStream::Unix),
+        }
+    }
+
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_read_timeout(d),
+            NetStream::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_write_timeout(d),
+            NetStream::Unix(s) => s.set_write_timeout(d),
+        }
+    }
+
+    pub fn shutdown(&self, how: Shutdown) -> std::io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.shutdown(how),
+            NetStream::Unix(s) => s.shutdown(how),
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            NetStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            NetStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.flush(),
+            NetStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+static SOCK_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A bound listener of either family. Unix listeners unlink their socket
+/// file on drop.
+#[derive(Debug)]
+pub enum NetListener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl NetListener {
+    /// Bind an ephemeral listener: loopback port 0 for TCP, a unique
+    /// temp-dir path for Unix. `tag` makes the socket filename readable.
+    pub fn bind(kind: AddrKind, tag: &str) -> Result<NetListener, NetError> {
+        match kind {
+            AddrKind::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0").map_err(|e| {
+                    NetError::new(NetErrorKind::Io, format!("tcp bind failed: {}", e))
+                })?;
+                Ok(NetListener::Tcp(l))
+            }
+            AddrKind::Unix => {
+                let path = std::env::temp_dir().join(format!(
+                    "phpf-net-{}-{}-{}.sock",
+                    std::process::id(),
+                    SOCK_COUNTER.fetch_add(1, Ordering::Relaxed),
+                    tag
+                ));
+                let l = UnixListener::bind(&path).map_err(|e| {
+                    NetError::new(
+                        NetErrorKind::Io,
+                        format!("unix bind at {} failed: {}", path.display(), e),
+                    )
+                })?;
+                Ok(NetListener::Unix(l, path))
+            }
+        }
+    }
+
+    pub fn addr(&self) -> Result<Addr, NetError> {
+        match self {
+            NetListener::Tcp(l) => l
+                .local_addr()
+                .map(|a| Addr::Tcp(a.to_string()))
+                .map_err(|e| NetError::new(NetErrorKind::Io, format!("local_addr: {}", e))),
+            NetListener::Unix(_, p) => Ok(Addr::Unix(p.clone())),
+        }
+    }
+
+    /// Accept one connection, polling non-blockingly until the deadline.
+    pub fn accept_deadline(&self, deadline: Duration) -> Result<NetStream, NetError> {
+        let start = Instant::now();
+        self.set_nonblocking(true)?;
+        let res = loop {
+            let r = match self {
+                NetListener::Tcp(l) => l.accept().map(|(s, _)| NetStream::Tcp(s)),
+                NetListener::Unix(l, _) => l.accept().map(|(s, _)| NetStream::Unix(s)),
+            };
+            match r {
+                Ok(s) => break Ok(s),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if start.elapsed() >= deadline {
+                        break Err(NetError::new(
+                            NetErrorKind::Deadline,
+                            format!("no peer connected within {:?}", deadline),
+                        ));
+                    }
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    break Err(NetError::new(
+                        NetErrorKind::Io,
+                        format!("accept failed: {}", e),
+                    ))
+                }
+            }
+        };
+        self.set_nonblocking(false)?;
+        let stream = res?;
+        // Accepted sockets do not inherit the listener's non-blocking
+        // mode on every platform; normalise.
+        match &stream {
+            NetStream::Tcp(s) => s.set_nonblocking(false),
+            NetStream::Unix(s) => s.set_nonblocking(false),
+        }
+        .map_err(|e| NetError::new(NetErrorKind::Io, format!("set_nonblocking: {}", e)))?;
+        Ok(stream)
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> Result<(), NetError> {
+        match self {
+            NetListener::Tcp(l) => l.set_nonblocking(nb),
+            NetListener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+        .map_err(|e| NetError::new(NetErrorKind::Io, format!("set_nonblocking: {}", e)))
+    }
+}
+
+impl Drop for NetListener {
+    fn drop(&mut self) {
+        if let NetListener::Unix(_, p) = self {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Deadlines for a socket transport.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketConfig {
+    /// Bound on every blocking send/recv.
+    pub io_deadline: Duration,
+    /// Bound on mesh establishment (per link: backoff-connect, accept and
+    /// the rank-exchange handshake).
+    pub connect_deadline: Duration,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        SocketConfig {
+            io_deadline: Duration::from_secs(5),
+            connect_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+fn classify_io(e: &std::io::Error) -> NetErrorKind {
+    use std::io::ErrorKind::*;
+    match e.kind() {
+        WouldBlock | TimedOut => NetErrorKind::Deadline,
+        BrokenPipe | ConnectionReset | ConnectionAborted | UnexpectedEof | NotConnected => {
+            NetErrorKind::Closed
+        }
+        _ => NetErrorKind::Io,
+    }
+}
+
+/// Connect with bounded exponential backoff: peers bind their listeners
+/// in arbitrary order, so early refusals are retried until the deadline.
+pub fn connect_backoff(addr: &Addr, deadline: Duration) -> Result<NetStream, NetError> {
+    let start = Instant::now();
+    let mut delay = Duration::from_millis(1);
+    loop {
+        let res = match addr {
+            Addr::Tcp(a) => TcpStream::connect(a).map(NetStream::Tcp),
+            Addr::Unix(p) => UnixStream::connect(p).map(NetStream::Unix),
+        };
+        match res {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if start.elapsed() >= deadline {
+                    return Err(NetError::new(
+                        NetErrorKind::Handshake,
+                        format!("connect to {} failed within {:?}: {}", addr, deadline, e),
+                    ));
+                }
+                std::thread::sleep(delay.min(deadline.saturating_sub(start.elapsed())));
+                delay = (delay * 2).min(BACKOFF_CAP);
+            }
+        }
+    }
+}
+
+fn hello_payload(from: usize, to: usize, nproc: usize) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(from as u32);
+    e.u32(to as u32);
+    e.u32(nproc as u32);
+    e.buf
+}
+
+fn parse_hello(payload: &[u8]) -> Result<(usize, usize, usize), NetError> {
+    let mut d = Dec::new(payload);
+    let from = d.u32()? as usize;
+    let to = d.u32()? as usize;
+    let nproc = d.u32()? as usize;
+    d.done()?;
+    Ok((from, to, nproc))
+}
+
+#[derive(Debug, Default)]
+struct Gauge {
+    queued: AtomicI64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    fn read_off_wire(&self) {
+        let n = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(n.max(0) as u64, Ordering::Relaxed);
+    }
+
+    fn consumed(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+type LinkQueue = Receiver<Result<WireMsg, NetError>>;
+
+/// One rank's endpoint of a multi-process socket mesh.
+#[derive(Debug)]
+pub struct SocketTransport {
+    rank: usize,
+    nproc: usize,
+    writers: Vec<Option<FrameWriter<NetStream>>>,
+    queues: Vec<Option<LinkQueue>>,
+    readers: Vec<Option<JoinHandle<()>>>,
+    stopping: Arc<AtomicBool>,
+    gauge: Arc<Gauge>,
+    cfg: SocketConfig,
+    finished: bool,
+}
+
+impl SocketTransport {
+    /// Establish this rank's links to every peer: connect (with backoff)
+    /// to each lower rank, accept one connection from each higher rank,
+    /// run the rank-exchange handshake on every link, then start the
+    /// per-link reader threads. `addrs[j]` is rank `j`'s listener address;
+    /// `listener` is this rank's own (already bound, so its address was
+    /// shared before any peer tries to connect).
+    pub fn connect_mesh(
+        rank: usize,
+        nproc: usize,
+        listener: &NetListener,
+        addrs: &[Addr],
+        cfg: SocketConfig,
+    ) -> Result<SocketTransport, NetError> {
+        if addrs.len() != nproc {
+            return Err(NetError::new(
+                NetErrorKind::Protocol,
+                format!("{} addresses for a world of {}", addrs.len(), nproc),
+            ));
+        }
+        if rank >= nproc {
+            return Err(NetError::new(
+                NetErrorKind::Protocol,
+                format!("rank {} out of range for nproc {}", rank, nproc),
+            ));
+        }
+        let mut links: Vec<Option<(FrameReader<NetStream>, FrameWriter<NetStream>)>> =
+            (0..nproc).map(|_| None).collect();
+
+        // Active side: connect to lower ranks, introduce ourselves, wait
+        // for the echo.
+        for peer in 0..rank {
+            let stream = connect_backoff(&addrs[peer], cfg.connect_deadline)
+                .map_err(|e| e.on_link(rank, peer))?;
+            stream
+                .set_read_timeout(Some(cfg.connect_deadline))
+                .map_err(|e| {
+                    NetError::new(NetErrorKind::Io, format!("set timeout: {}", e))
+                        .on_link(rank, peer)
+                })?;
+            let reader_stream = stream.try_clone().map_err(|e| {
+                NetError::new(NetErrorKind::Io, format!("clone stream: {}", e))
+                    .on_link(rank, peer)
+            })?;
+            let mut reader = FrameReader::new(reader_stream);
+            let mut writer = FrameWriter::new(stream);
+            writer
+                .write(FrameKind::Hello, &hello_payload(rank, peer, nproc))
+                .map_err(|e| {
+                    NetError::new(classify_io(&e), format!("hello send: {}", e))
+                        .on_link(rank, peer)
+                })?;
+            let (from, to, peer_nproc) = expect_hello(&mut reader, rank, peer)?;
+            if from != peer || to != rank || peer_nproc != nproc {
+                return Err(NetError::new(
+                    NetErrorKind::Handshake,
+                    format!(
+                        "rank exchange mismatch: peer says {}->{} of {}, expected {}->{} of {}",
+                        from, to, peer_nproc, peer, rank, nproc
+                    ),
+                )
+                .on_link(rank, peer));
+            }
+            links[peer] = Some((reader, writer));
+        }
+
+        // Passive side: accept from higher ranks (in whatever order they
+        // arrive) and learn who they are from their Hello.
+        for _ in rank + 1..nproc {
+            let stream = listener
+                .accept_deadline(cfg.connect_deadline)
+                .map_err(|e| NetError {
+                    kind: NetErrorKind::Handshake,
+                    link: e.link,
+                    detail: format!("rank {} waiting for higher-rank peers: {}", rank, e.detail),
+                })?;
+            stream
+                .set_read_timeout(Some(cfg.connect_deadline))
+                .map_err(|e| NetError::new(NetErrorKind::Io, format!("set timeout: {}", e)))?;
+            let reader_stream = stream.try_clone().map_err(|e| {
+                NetError::new(NetErrorKind::Io, format!("clone stream: {}", e))
+            })?;
+            let mut reader = FrameReader::new(reader_stream);
+            let mut writer = FrameWriter::new(stream);
+            let (from, to, peer_nproc) = expect_hello(&mut reader, rank, usize::MAX)?;
+            if to != rank || peer_nproc != nproc || from <= rank || from >= nproc {
+                return Err(NetError::new(
+                    NetErrorKind::Handshake,
+                    format!(
+                        "rank exchange mismatch: peer says {}->{} of {}, expected ->{} of {}",
+                        from, to, peer_nproc, rank, nproc
+                    ),
+                ));
+            }
+            if links[from].is_some() {
+                return Err(NetError::new(
+                    NetErrorKind::Handshake,
+                    format!("rank {} connected twice", from),
+                )
+                .on_link(rank, from));
+            }
+            writer
+                .write(FrameKind::Hello, &hello_payload(rank, from, nproc))
+                .map_err(|e| {
+                    NetError::new(classify_io(&e), format!("hello reply: {}", e))
+                        .on_link(rank, from)
+                })?;
+            links[from] = Some((reader, writer));
+        }
+
+        // Switch every link to run mode and start its reader thread.
+        let stopping = Arc::new(AtomicBool::new(false));
+        let gauge = Arc::new(Gauge::default());
+        let mut writers: Vec<Option<FrameWriter<NetStream>>> =
+            (0..nproc).map(|_| None).collect();
+        let mut queues: Vec<Option<LinkQueue>> = (0..nproc).map(|_| None).collect();
+        let mut readers: Vec<Option<JoinHandle<()>>> = (0..nproc).map(|_| None).collect();
+        for (peer, link) in links.into_iter().enumerate() {
+            let Some((reader, writer)) = link else {
+                continue;
+            };
+            writer
+                .get_ref()
+                .set_read_timeout(Some(POLL))
+                .and_then(|_| writer.get_ref().set_write_timeout(Some(cfg.io_deadline)))
+                .map_err(|e| {
+                    NetError::new(NetErrorKind::Io, format!("set timeouts: {}", e))
+                        .on_link(rank, peer)
+                })?;
+            let (tx, rx) = channel();
+            let st = stopping.clone();
+            let g = gauge.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("net-r{}p{}", rank, peer))
+                .spawn(move || reader_loop(reader, tx, st, g, rank, peer))
+                .map_err(|e| {
+                    NetError::new(NetErrorKind::Io, format!("spawn reader: {}", e))
+                })?;
+            writers[peer] = Some(writer);
+            queues[peer] = Some(rx);
+            readers[peer] = Some(handle);
+        }
+        Ok(SocketTransport {
+            rank,
+            nproc,
+            writers,
+            queues,
+            readers,
+            stopping,
+            gauge,
+            cfg,
+            finished: false,
+        })
+    }
+
+    fn teardown(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        for w in self.writers.iter_mut().flatten() {
+            // Best effort: the peer may already be gone.
+            let _ = w.write(FrameKind::Bye, &[]);
+            let _ = w.get_ref().shutdown(Shutdown::Write);
+        }
+        self.stopping.store(true, Ordering::Relaxed);
+        for h in self.readers.iter_mut() {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn expect_hello(
+    reader: &mut FrameReader<NetStream>,
+    rank: usize,
+    peer: usize,
+) -> Result<(usize, usize, usize), NetError> {
+    let wrap = |e: NetError| {
+        let e = NetError {
+            kind: NetErrorKind::Handshake,
+            link: e.link,
+            detail: format!("waiting for rank exchange: {}", e.detail),
+        };
+        if peer == usize::MAX {
+            e
+        } else {
+            e.on_link(rank, peer)
+        }
+    };
+    match reader.read_step() {
+        Ok(ReadStep::Frame((FrameKind::Hello, payload))) => {
+            parse_hello(&payload).map_err(wrap)
+        }
+        Ok(ReadStep::Frame((kind, _))) => Err(wrap(NetError::new(
+            NetErrorKind::Protocol,
+            format!("expected Hello, got {:?} frame", kind),
+        ))),
+        Ok(ReadStep::Eof) => Err(wrap(NetError::new(
+            NetErrorKind::Closed,
+            "peer closed during handshake",
+        ))),
+        Ok(ReadStep::Idle) => Err(wrap(NetError::new(
+            NetErrorKind::Deadline,
+            "no Hello within the connect deadline",
+        ))),
+        Err(e) => Err(wrap(e.into())),
+    }
+}
+
+fn reader_loop(
+    mut reader: FrameReader<NetStream>,
+    tx: Sender<Result<WireMsg, NetError>>,
+    stopping: Arc<AtomicBool>,
+    gauge: Arc<Gauge>,
+    local: usize,
+    peer: usize,
+) {
+    loop {
+        match reader.read_step() {
+            Ok(ReadStep::Idle) => {
+                if stopping.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Ok(ReadStep::Frame((FrameKind::Bye, _))) => return,
+            Ok(ReadStep::Frame((kind @ (FrameKind::One | FrameKind::Many), payload))) => {
+                match frame::decode_msg(kind, &payload) {
+                    Ok(m) => {
+                        gauge.read_off_wire();
+                        if tx.send(Ok(m)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(NetError::from(e).on_link(local, peer)));
+                        return;
+                    }
+                }
+            }
+            Ok(ReadStep::Frame((kind, _))) => {
+                let _ = tx.send(Err(NetError::new(
+                    NetErrorKind::Protocol,
+                    format!("unexpected {:?} frame mid-stream", kind),
+                )
+                .on_link(local, peer)));
+                return;
+            }
+            Ok(ReadStep::Eof) => {
+                if !stopping.load(Ordering::Relaxed) {
+                    let _ = tx.send(Err(NetError::new(
+                        NetErrorKind::Closed,
+                        "peer closed the link without goodbye (process died?)",
+                    )
+                    .on_link(local, peer)));
+                }
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Err(NetError::from(e).on_link(local, peer)));
+                return;
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nproc(&self) -> usize {
+        self.nproc
+    }
+
+    fn send(&mut self, to: usize, msg: &WireMsg) -> Result<(), NetError> {
+        let rank = self.rank;
+        let w = self
+            .writers
+            .get_mut(to)
+            .and_then(|w| w.as_mut())
+            .ok_or_else(|| {
+                NetError::new(NetErrorKind::Protocol, format!("no link to rank {}", to))
+                    .on_link(rank, to)
+            })?;
+        let (kind, payload) = frame::encode_msg(msg);
+        w.write(kind, &payload).map_err(|e| {
+            NetError::new(classify_io(&e), format!("send failed: {}", e)).on_link(rank, to)
+        })
+    }
+
+    fn recv(&mut self, from: usize) -> Result<WireMsg, NetError> {
+        let rank = self.rank;
+        let deadline = self.cfg.io_deadline;
+        let rx = self
+            .queues
+            .get(from)
+            .and_then(|q| q.as_ref())
+            .ok_or_else(|| {
+                NetError::new(NetErrorKind::Protocol, format!("no link from rank {}", from))
+                    .on_link(rank, from)
+            })?;
+        match rx.recv_timeout(deadline) {
+            Ok(Ok(m)) => {
+                self.gauge.consumed();
+                Ok(m)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(RecvTimeoutError::Timeout) => Err(NetError::new(
+                NetErrorKind::Deadline,
+                format!("no message within {:?}", deadline),
+            )
+            .on_link(rank, from)),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::new(
+                NetErrorKind::Closed,
+                "link terminated",
+            )
+            .on_link(rank, from)),
+        }
+    }
+
+    fn peak_in_flight(&self) -> u64 {
+        self.gauge.peak.load(Ordering::Relaxed)
+    }
+
+    fn finish(&mut self) -> Result<(), NetError> {
+        self.teardown();
+        Ok(())
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::Value;
+
+    fn mesh(kind: AddrKind, nproc: usize, cfg: SocketConfig) -> Vec<SocketTransport> {
+        let listeners: Vec<NetListener> = (0..nproc)
+            .map(|r| NetListener::bind(kind, &format!("t{}", r)).unwrap())
+            .collect();
+        let addrs: Vec<Addr> = listeners.iter().map(|l| l.addr().unwrap()).collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let addrs = addrs.clone();
+                std::thread::spawn(move || {
+                    SocketTransport::connect_mesh(rank, nproc, &listener, &addrs, cfg).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn exercise(kind: AddrKind) {
+        let group = mesh(kind, 3, SocketConfig::default());
+        let handles: Vec<_> = group
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    let rank = t.rank();
+                    // Everyone sends its rank to everyone else, twice:
+                    // once scalar, once as a section.
+                    for to in 0..3 {
+                        if to != rank {
+                            t.send(to, &WireMsg::One(Value::Int(rank as i64))).unwrap();
+                            t.send(
+                                to,
+                                &WireMsg::Many(Arc::new(vec![
+                                    Value::Real(rank as f64),
+                                    Value::Bool(rank % 2 == 0),
+                                ])),
+                            )
+                            .unwrap();
+                        }
+                    }
+                    for from in 0..3 {
+                        if from != rank {
+                            assert_eq!(
+                                t.recv(from).unwrap(),
+                                WireMsg::One(Value::Int(from as i64))
+                            );
+                            assert_eq!(
+                                t.recv(from).unwrap(),
+                                WireMsg::Many(Arc::new(vec![
+                                    Value::Real(from as f64),
+                                    Value::Bool(from % 2 == 0),
+                                ]))
+                            );
+                        }
+                    }
+                    let peak = t.peak_in_flight();
+                    t.finish().unwrap();
+                    peak
+                })
+            })
+            .collect();
+        let peaks: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(peaks.iter().any(|&p| p >= 1), "gauge never saw a frame");
+    }
+
+    #[test]
+    fn tcp_mesh_roundtrip() {
+        exercise(AddrKind::Tcp);
+    }
+
+    #[test]
+    fn unix_mesh_roundtrip() {
+        exercise(AddrKind::Unix);
+    }
+
+    #[test]
+    fn silent_peer_hits_recv_deadline() {
+        let cfg = SocketConfig {
+            io_deadline: Duration::from_millis(100),
+            ..SocketConfig::default()
+        };
+        let mut group = mesh(AddrKind::default(), 2, cfg);
+        let start = Instant::now();
+        let err = group[0].recv(1).unwrap_err();
+        assert_eq!(err.kind, NetErrorKind::Deadline);
+        assert_eq!(err.link, Some((0, 1)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        for t in &mut group {
+            t.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_world_size() {
+        let listener = NetListener::bind(AddrKind::default(), "hs").unwrap();
+        let addr = listener.addr().unwrap();
+        let cfg = SocketConfig {
+            connect_deadline: Duration::from_secs(2),
+            ..SocketConfig::default()
+        };
+        // A rank-1 process that believes the world has 3 ranks.
+        let h = std::thread::spawn(move || {
+            let my_listener = NetListener::bind(AddrKind::default(), "hs-peer").unwrap();
+            let addrs = vec![addr, my_listener.addr().unwrap(), my_listener.addr().unwrap()];
+            SocketTransport::connect_mesh(1, 3, &my_listener, &addrs, cfg)
+        });
+        let addrs = vec![listener.addr().unwrap(), Addr::Tcp("127.0.0.1:1".into())];
+        let err = SocketTransport::connect_mesh(0, 2, &listener, &addrs, cfg).unwrap_err();
+        assert_eq!(err.kind, NetErrorKind::Handshake);
+        let _ = h.join();
+    }
+
+    #[test]
+    fn missing_peer_bounds_connect() {
+        // Nobody is listening on this address; the backoff must give up
+        // within the connect deadline.
+        let listener = NetListener::bind(AddrKind::Tcp, "mp").unwrap();
+        let dead = Addr::Tcp("127.0.0.1:1".into());
+        let cfg = SocketConfig {
+            connect_deadline: Duration::from_millis(200),
+            ..SocketConfig::default()
+        };
+        let addrs = vec![dead, listener.addr().unwrap()];
+        let start = Instant::now();
+        let err = SocketTransport::connect_mesh(1, 2, &listener, &addrs, cfg).unwrap_err();
+        assert_eq!(err.kind, NetErrorKind::Handshake);
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+}

@@ -7,8 +7,10 @@
 //!   communication operations, reduction combines;
 //! * [`exec`] — the reference multi-memory executor (defines semantics;
 //!   every configuration must match the sequential interpreter);
-//! * [`runtime`] — a threaded message-passing runtime (one thread per
-//!   virtual processor, crossbeam channels) that replays the compiled
+//! * [`runtime`] — a message-passing replay runtime over a pluggable
+//!   [`hpf_net::Transport`] (one thread per virtual processor on the
+//!   in-process channel backend; the socket backend runs the same
+//!   per-rank engine in separate OS processes) that replays the compiled
 //!   communication schedule and revalidates it;
 //! * [`costsim`] — the analytic SP2 performance model that regenerates
 //!   the paper's tables;
@@ -36,4 +38,7 @@ pub use exec::{validate_against_sequential, ExecStats, SpmdExec};
 pub use guard::Guard;
 pub use lower::{lower, CommData, CommOp, ReduceOp, SpmdProgram};
 pub use metrics::CommMetrics;
-pub use runtime::{replay, validate_replay, validate_replay_opts, Replayed, ReplayStats};
+pub use runtime::{
+    check_owner_slots, replay, replay_rank, validate_replay, validate_replay_opts, Replayed,
+    ReplayStats,
+};

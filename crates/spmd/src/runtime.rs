@@ -1,30 +1,36 @@
-//! Threaded message-passing runtime.
+//! Message-passing replay runtime over a pluggable transport.
 //!
-//! One OS thread per virtual processor, communicating over crossbeam
-//! channels. The runtime *replays* the communication schedule recorded by
-//! the reference executor ([`crate::exec::SpmdExec::with_trace`]): each
-//! thread owns a private [`Memory`], evaluates its assignments purely
-//! locally, and obtains every remote operand through an actual message.
+//! One worker per virtual processor — an OS thread over the in-process
+//! [`hpf_net::channel`] backend, or a whole OS process over the
+//! [`hpf_net::socket`] backend — communicating only through a
+//! [`Transport`]. The runtime *replays* the communication schedule
+//! recorded by the reference executor
+//! ([`crate::exec::SpmdExec::with_trace`]): each worker owns a private
+//! [`Memory`], evaluates its assignments purely locally, and obtains every
+//! remote operand through an actual message.
 //!
 //! The replay revalidates the schedule end-to-end — if the compiler had
-//! failed to move a value that a processor needs, the thread would compute
+//! failed to move a value that a processor needs, the worker would compute
 //! with stale local data and the final cross-check against the reference
 //! memories would fail. It also serves as the repo's demonstration that
 //! the lowered programs are real SPMD programs, not a bookkeeping fiction:
-//! no thread ever touches another thread's memory.
+//! no worker ever touches another worker's memory.
+//!
+//! The per-rank engine is [`replay_rank`], generic over the transport; the
+//! multi-process driver in `hpf-compile::netrun` runs the same function in
+//! separate OS processes over socket links.
 
 use crate::exec::{Event, Slot, SpmdExec, Trace};
 use crate::lower::SpmdProgram;
 use crate::metrics::CommMetrics;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hpf_analysis::RedOp;
 use hpf_ir::interp::{eval_binop, eval_intrinsic, InterpError, Memory};
 use hpf_ir::{Expr, LValue, Program, Stmt, Value, VarId};
+use hpf_net::{channel_group, Transport, WireMsg};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Statistics from a threaded replay.
+/// Statistics from a replay.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplayStats {
     /// Wire messages sent (a coalesced `SendVec` counts once).
@@ -32,21 +38,52 @@ pub struct ReplayStats {
     pub events: u64,
 }
 
-/// Everything a threaded replay produces.
+/// Everything a replay produces.
 #[derive(Debug)]
 pub struct Replayed {
     pub mems: Vec<Memory>,
     pub stats: ReplayStats,
-    /// Wire-level accounting, merged over workers. `max_in_flight` here is
-    /// the real peak of sent-but-not-yet-received messages across all
-    /// channels.
+    /// Wire-level accounting, merged over workers. `max_in_flight` is the
+    /// transport's gauge peak: sent-but-not-yet-received messages for the
+    /// channel backend, receive-queue depth for the socket backend.
     pub metrics: CommMetrics,
 }
 
-/// What travels over a channel: a single value or a coalesced section.
-enum Msg {
-    One(Value),
-    Many(Vec<Value>),
+/// Replay one rank's recorded event list over a transport, mutating the
+/// rank's (already initialised) memory in place. Returns this rank's
+/// stats and its unmerged metrics contribution (the transport's in-flight
+/// peak already folded in), and tears the transport down. This is the
+/// shared engine of the threaded replay below and the per-process workers
+/// of the socket backend.
+pub fn replay_rank<T: Transport>(
+    sp: &SpmdProgram,
+    events: &[Event],
+    mem: &mut Memory,
+    transport: &mut T,
+) -> Result<(ReplayStats, CommMetrics), String> {
+    let pid = transport.rank();
+    let nproc = transport.nproc();
+    let mut worker = RankWorker {
+        sp,
+        program: &sp.program,
+        pid,
+        mem,
+        transport,
+        stack: Vec::new(),
+        last_vec: None,
+        stats: ReplayStats::default(),
+        metrics: CommMetrics::new(nproc, sp.comms.len()),
+    };
+    for ev in events {
+        worker.step(ev).map_err(|e| format!("proc {}: {}", pid, e))?;
+    }
+    let stats = worker.stats;
+    let mut metrics = worker.metrics;
+    transport
+        .finish()
+        .map_err(|e| format!("proc {}: teardown: {}", pid, e))?;
+    metrics.saw_in_flight(transport.peak_in_flight());
+    Ok((stats, metrics))
 }
 
 /// Run the threaded replay of a recorded trace; returns the per-processor
@@ -57,59 +94,20 @@ pub fn replay(
     init: impl Fn(&mut Memory) + Sync,
 ) -> Result<Replayed, String> {
     let nproc = trace.len();
-    // One channel per ordered (from, to) pair.
-    let mut senders: Vec<HashMap<usize, Sender<Msg>>> = (0..nproc).map(|_| HashMap::new()).collect();
-    let mut receivers: Vec<HashMap<usize, Receiver<Msg>>> =
-        (0..nproc).map(|_| HashMap::new()).collect();
-    for (from, sends) in senders.iter_mut().enumerate() {
-        for (to, recvs) in receivers.iter_mut().enumerate() {
-            if from == to {
-                continue;
-            }
-            let (s, r) = unbounded();
-            sends.insert(to, s);
-            recvs.insert(from, r);
-        }
-    }
-
+    let transports = channel_group(nproc);
     let program = &sp.program;
-    // Aggregate statistics are updated concurrently by the workers; the
-    // in-flight gauge is shared so the peak sees cross-thread overlap.
     let total: Mutex<(ReplayStats, CommMetrics)> =
         Mutex::new((ReplayStats::default(), CommMetrics::new(nproc, sp.comms.len())));
-    let in_flight = AtomicI64::new(0);
-    let peak = AtomicU64::new(0);
     let results: Vec<Result<Memory, String>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nproc);
-        for (pid, (tx, rx)) in senders.into_iter().zip(receivers).enumerate() {
+        for (pid, mut transport) in transports.into_iter().enumerate() {
             let events = &trace[pid];
             let init = &init;
             let total = &total;
-            let in_flight = &in_flight;
-            let peak = &peak;
             handles.push(scope.spawn(move || {
                 let mut mem = Memory::zeroed(program);
                 init(&mut mem);
-                let mut worker = Worker {
-                    sp,
-                    program,
-                    pid,
-                    mem: &mut mem,
-                    tx,
-                    rx,
-                    stack: Vec::new(),
-                    stats: ReplayStats::default(),
-                    metrics: CommMetrics::new(nproc, sp.comms.len()),
-                    in_flight,
-                    peak,
-                };
-                for ev in events {
-                    worker
-                        .step(ev)
-                        .map_err(|e| format!("proc {}: {}", pid, e))?;
-                }
-                let s = worker.stats;
-                let m = worker.metrics;
+                let (s, m) = replay_rank(sp, events, &mut mem, &mut transport)?;
                 let mut t = total.lock();
                 t.0.messages_sent += s.messages_sent;
                 t.0.events += s.events;
@@ -124,8 +122,7 @@ pub fn replay(
     for r in results {
         mems.push(r?);
     }
-    let (stats, mut metrics) = total.into_inner();
-    metrics.saw_in_flight(peak.load(Ordering::Relaxed));
+    let (stats, metrics) = total.into_inner();
     Ok(Replayed {
         mems,
         stats,
@@ -133,42 +130,43 @@ pub fn replay(
     })
 }
 
-struct Worker<'a> {
+/// Memoised `SendVec` payload: (comm op, section slots, shared buffer).
+type VecMemo<'a> = (usize, &'a [Slot], Arc<Vec<Value>>);
+
+struct RankWorker<'a, T: Transport> {
     sp: &'a SpmdProgram,
     program: &'a Program,
     pid: usize,
     mem: &'a mut Memory,
-    tx: HashMap<usize, Sender<Msg>>,
-    rx: HashMap<usize, Receiver<Msg>>,
+    transport: &'a mut T,
     /// Stack of received reduction partials `(acc, loc)`.
     stack: Vec<(Value, Option<Value>)>,
+    /// Memo of the last materialised `SendVec` payload, so a broadcast
+    /// fan-out (the same op and section sent to several destinations)
+    /// shares one reference-counted buffer instead of re-cloning the
+    /// values per destination. Invalidated by any event that mutates
+    /// local memory.
+    last_vec: Option<VecMemo<'a>>,
     stats: ReplayStats,
     metrics: CommMetrics,
-    /// Shared gauge of sent-but-not-received messages (all channels).
-    in_flight: &'a AtomicI64,
-    peak: &'a AtomicU64,
 }
 
-impl Worker<'_> {
-    /// Send one wire message, maintaining the shared in-flight gauge.
-    fn send_msg(&mut self, to: usize, msg: Msg) -> Result<(), String> {
-        self.tx[&to].send(msg).map_err(|e| e.to_string())?;
+impl<'a, T: Transport> RankWorker<'a, T> {
+    /// Send one wire message.
+    fn send_msg(&mut self, to: usize, msg: &WireMsg) -> Result<(), String> {
+        self.transport.send(to, msg).map_err(|e| e.to_string())?;
         self.stats.messages_sent += 1;
-        let n = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak.fetch_max(n.max(0) as u64, Ordering::Relaxed);
         Ok(())
     }
 
-    fn recv_msg(&mut self, from: usize) -> Result<Msg, String> {
-        let m = self.rx[&from].recv().map_err(|e| e.to_string())?;
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
-        Ok(m)
+    fn recv_msg(&mut self, from: usize) -> Result<WireMsg, String> {
+        self.transport.recv(from).map_err(|e| e.to_string())
     }
 
     fn recv_one(&mut self, from: usize) -> Result<Value, String> {
         match self.recv_msg(from)? {
-            Msg::One(v) => Ok(v),
-            Msg::Many(_) => Err("expected a single-value message, got a section".into()),
+            WireMsg::One(v) => Ok(v),
+            WireMsg::Many(_) => Err("expected a single-value message, got a section".into()),
         }
     }
 
@@ -180,24 +178,38 @@ impl Worker<'_> {
         self.program.vars.info(v).ty.byte_size() as u64
     }
 
-    fn step(&mut self, ev: &Event) -> Result<(), String> {
+    fn step(&mut self, ev: &'a Event) -> Result<(), String> {
         self.stats.events += 1;
         match ev {
             Event::Send { to, slot } => {
                 let v = self.load(*slot);
                 let bytes = self.slot_bytes(*slot);
-                self.send_msg(*to, Msg::One(v))?;
+                self.send_msg(*to, &WireMsg::One(v))
+                    .map_err(|e| format!("element send to {}: {}", to, e))?;
                 // The trace does not attribute per-element sends to an
                 // operation; count them under the generic element pattern.
                 self.metrics
                     .note_message(crate::metrics::ELEMENT, None, self.pid, *to, bytes);
             }
             Event::Recv { from, slot } => {
-                let v = self.recv_one(*from)?;
+                let v = self
+                    .recv_one(*from)
+                    .map_err(|e| format!("element recv from {}: {}", from, e))?;
+                self.last_vec = None;
                 self.store_slot(*slot, v).map_err(|e| e.to_string())?;
             }
             Event::SendVec { to, op, slots } => {
-                let vals: Vec<Value> = slots.iter().map(|&s| self.load(s)).collect();
+                let vals = match &self.last_vec {
+                    Some((mop, mslots, buf)) if *mop == *op && *mslots == &slots[..] => {
+                        buf.clone()
+                    }
+                    _ => {
+                        let buf: Arc<Vec<Value>> =
+                            Arc::new(slots.iter().map(|&s| self.load(s)).collect());
+                        self.last_vec = Some((*op, slots, buf.clone()));
+                        buf
+                    }
+                };
                 let pattern = self.sp.comms[*op].pattern.name();
                 self.metrics
                     .note_message(pattern, Some(*op), self.pid, *to, 0);
@@ -205,12 +217,16 @@ impl Worker<'_> {
                     let b = self.slot_bytes(s);
                     self.metrics.note_payload(pattern, *op, self.pid, *to, b);
                 }
-                self.send_msg(*to, Msg::Many(vals))?;
+                self.send_msg(*to, &WireMsg::Many(vals))
+                    .map_err(|e| format!("section send (op {}) to {}: {}", op, to, e))?;
             }
-            Event::RecvVec { from, slots, .. } => {
-                let vals = match self.recv_msg(*from)? {
-                    Msg::Many(v) => v,
-                    Msg::One(_) => {
+            Event::RecvVec { from, op, slots } => {
+                let vals = match self
+                    .recv_msg(*from)
+                    .map_err(|e| format!("section recv (op {}) from {}: {}", op, from, e))?
+                {
+                    WireMsg::Many(v) => v,
+                    WireMsg::One(_) => {
                         return Err("expected a coalesced section, got a single value".into())
                     }
                 };
@@ -221,11 +237,13 @@ impl Worker<'_> {
                         slots.len()
                     ));
                 }
-                for (&s, v) in slots.iter().zip(vals) {
+                self.last_vec = None;
+                for (&s, &v) in slots.iter().zip(vals.iter()) {
                     self.store_slot(s, v).map_err(|e| e.to_string())?;
                 }
             }
             Event::Exec { stmt, env } => {
+                self.last_vec = None;
                 self.bind(env);
                 let Stmt::Assign { lhs, rhs } = self.program.stmt(*stmt) else {
                     return Err("Exec event on non-assignment".into());
@@ -234,6 +252,7 @@ impl Worker<'_> {
                 self.assign(lhs, val).map_err(|e| e.to_string())?;
             }
             Event::CondExec { stmt, env } => {
+                self.last_vec = None;
                 self.bind(env);
                 let Stmt::If {
                     cond, then_body, ..
@@ -255,9 +274,14 @@ impl Worker<'_> {
                 }
             }
             Event::RecvPartial { from, has_loc } => {
-                let acc = self.recv_one(*from)?;
+                let acc = self
+                    .recv_one(*from)
+                    .map_err(|e| format!("reduction partial from {}: {}", from, e))?;
                 let loc = if *has_loc {
-                    Some(self.recv_one(*from)?)
+                    Some(
+                        self.recv_one(*from)
+                            .map_err(|e| format!("reduction location from {}: {}", from, e))?,
+                    )
                 } else {
                     None
                 };
@@ -269,6 +293,7 @@ impl Worker<'_> {
                 loc,
                 count,
             } => {
+                self.last_vec = None;
                 let mut best = self.mem.scalar(*acc);
                 let mut best_loc = loc.map(|lv| self.mem.scalar(lv));
                 for _ in 0..*count {
@@ -417,6 +442,37 @@ impl Worker<'_> {
     }
 }
 
+/// Compare the *authoritative* slots of replayed memories against the
+/// reference executor's: every array element on its owner processor(s).
+/// (Non-owned local copies legitimately differ: the replay stages received
+/// values into them, while the reference executor reads owner memory
+/// directly.) Shared by the threaded validation below and the socket
+/// backend's multi-process validation.
+pub fn check_owner_slots(
+    sp: &SpmdProgram,
+    mems: &[Memory],
+    reference: &[Memory],
+) -> Result<(), String> {
+    let grid = &sp.maps.grid;
+    for (v, info) in sp.program.vars.arrays() {
+        let shape = info.shape().unwrap();
+        let mapping = sp.maps.of(v);
+        for off in 0..shape.len() as usize {
+            let idx = shape.delinearize(off);
+            let own = mapping.owner_on(grid, &idx);
+            for pid in own.pids(grid) {
+                if mems[pid].array(v).get(off) != reference[pid].array(v).get(off) {
+                    return Err(format!(
+                        "proc {} array {} diverged from reference at {:?}",
+                        pid, info.name, idx
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Record a trace with the reference executor, replay it on threads, and
 /// check that every processor's memory matches the reference. Returns the
 /// replay result (memories, stats, metrics).
@@ -443,28 +499,8 @@ pub fn validate_replay_opts(
     exec.run().map_err(|e| format!("reference run failed: {}", e))?;
     let trace = exec.trace.take().expect("trace recorded");
     let replayed = replay(sp, &trace, &init)?;
-    let mems = &replayed.mems;
-    // Compare the *authoritative* slots: every array element on its owner
-    // processor. (Non-owned local copies legitimately differ: the replay
-    // stages received values into them, while the reference executor reads
-    // owner memory directly.)
-    let grid = &sp.maps.grid;
-    for (v, info) in sp.program.vars.arrays() {
-        let shape = info.shape().unwrap();
-        let mapping = sp.maps.of(v);
-        for off in 0..shape.len() as usize {
-            let idx = shape.delinearize(off);
-            let own = mapping.owner_on(grid, &idx);
-            for pid in own.pids(grid) {
-                if mems[pid].array(v).get(off) != exec.mems[pid].array(v).get(off) {
-                    return Err(format!(
-                        "proc {} array {} diverged between threads and reference at {:?}",
-                        pid, info.name, idx
-                    ));
-                }
-            }
-        }
-    }
+    check_owner_slots(sp, &replayed.mems, &exec.mems)
+        .map_err(|e| format!("threads vs reference: {}", e))?;
     Ok(replayed)
 }
 

@@ -1,0 +1,25 @@
+//! Regenerate the small kernel sources under `examples/hpf/` used by the
+//! socket-backend smoke stage of `scripts/check.sh`:
+//!
+//! ```text
+//! cargo run --example gen_small_kernels
+//! ```
+//!
+//! The sizes are deliberately tiny — the point of the checked-in files is
+//! a fast end-to-end `phpfc --backend socket` run, not a benchmark.
+
+fn main() -> std::io::Result<()> {
+    std::fs::write(
+        "examples/hpf/tomcatv_small.hpf",
+        hpf_kernels::tomcatv::source(12, 4, 2),
+    )?;
+    std::fs::write(
+        "examples/hpf/dgefa_small.hpf",
+        hpf_kernels::dgefa::source(12, 4),
+    )?;
+    std::fs::write(
+        "examples/hpf/appsp_small.hpf",
+        hpf_kernels::appsp::source_1d(8, 4, 1),
+    )?;
+    Ok(())
+}

@@ -12,13 +12,30 @@ cargo test -q --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
-echo "==> bench binaries emit BENCH_JSON"
+echo "==> bench binaries emit BENCH_JSON (with a backend name)"
 for bin in table1 table2 table3; do
     out=$(cargo run -q --release -p phpf-bench --bin "$bin")
     echo "$out" | grep -q '^BENCH_JSON {' || {
         echo "FAIL: $bin printed no BENCH_JSON line" >&2
         exit 1
     }
+    echo "$out" | grep -q '"backend":' || {
+        echo "FAIL: $bin BENCH_JSON line names no backend" >&2
+        exit 1
+    }
 done
 
-echo "OK: build, tests, lints and bench output all clean"
+echo "==> socket backend smoke (TOMCATV small, 4 worker processes)"
+out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --backend socket)
+echo "$out" | grep -q 'backend socket: replay on 4 worker processes matched' || {
+    echo "FAIL: socket backend replay did not validate" >&2
+    echo "$out" >&2
+    exit 1
+}
+echo "$out" | grep -q '^cross-check: observed' || {
+    echo "FAIL: socket backend run produced no cost-model cross-check" >&2
+    echo "$out" >&2
+    exit 1
+}
+
+echo "OK: build, tests, lints, bench output and socket smoke all clean"

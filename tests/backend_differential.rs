@@ -1,0 +1,149 @@
+//! Backend differential suite: the threaded channel backend and the
+//! multi-process socket backend must be *observationally identical* on
+//! the paper's kernels — same owner memories, same per-pattern and
+//! per-operation message/byte/element counts — in both replay modes
+//! (vectorized and per-element). Only `max_in_flight` may differ: it is
+//! a queue-depth gauge, not a traffic count, and depends on scheduling.
+
+use phpf::compile::netrun::{self, NetJob, NetRunConfig};
+use phpf::compile::Version;
+use phpf::kernels::{appsp, dgefa, tomcatv};
+use phpf::spmd::{check_owner_slots, validate_replay_opts, CommMetrics, Replayed};
+
+/// Run one kernel on both backends with identical deterministic fills and
+/// assert traffic + memory equivalence.
+fn differential(name: &str, source: String, vectorize: bool) {
+    let mut job = NetJob::new(source);
+    job.vectorize = vectorize;
+    job.version = Version::SelectedAlignment;
+    let job = job.with_default_fills().expect("kernel compiles");
+    let compiled = job.compile().unwrap();
+
+    // Thread backend, same fills as the socket job spec.
+    let fills: Vec<(phpf::ir::VarId, Vec<f64>)> = job
+        .fills
+        .iter()
+        .map(|(n, data)| {
+            (
+                compiled.spmd.program.vars.lookup(n).expect("fill var"),
+                data.clone(),
+            )
+        })
+        .collect();
+    let threads: Replayed = validate_replay_opts(
+        &compiled.spmd,
+        move |m| {
+            for (v, data) in &fills {
+                m.fill_real(*v, data);
+            }
+        },
+        vectorize,
+    )
+    .unwrap_or_else(|e| panic!("{name}: thread backend: {e}"));
+
+    // Socket backend: one OS process per virtual processor.
+    let sockets: Replayed = netrun::socket_validate_replay(&job, &NetRunConfig::default())
+        .unwrap_or_else(|e| panic!("{name}: socket backend: {e}"));
+
+    // Owner slots must agree between the two backends (each already
+    // matched the reference executor; this closes the triangle).
+    check_owner_slots(&compiled.spmd, &sockets.mems, &threads.mems)
+        .unwrap_or_else(|e| panic!("{name}: socket vs thread memories: {e}"));
+
+    assert_traffic_identical(name, vectorize, &threads.metrics, &sockets.metrics);
+    assert_eq!(
+        threads.stats.messages_sent, sockets.stats.messages_sent,
+        "{name}: replay stats disagree on message count"
+    );
+}
+
+/// Everything except the `max_in_flight` gauge must match exactly.
+fn assert_traffic_identical(name: &str, vectorize: bool, t: &CommMetrics, s: &CommMetrics) {
+    let mode = if vectorize { "vectorized" } else { "per-element" };
+    assert_eq!(
+        t.per_pattern, s.per_pattern,
+        "{name} ({mode}): per-pattern counters diverge"
+    );
+    assert_eq!(
+        t.per_op, s.per_op,
+        "{name} ({mode}): per-operation counters diverge"
+    );
+    assert_eq!(
+        t.per_proc, s.per_proc,
+        "{name} ({mode}): per-processor counters diverge"
+    );
+    assert_eq!(
+        t.untracked_messages, s.untracked_messages,
+        "{name} ({mode}): untracked message counts diverge"
+    );
+    // Byte parity across the whole run: the Arc-shared payload refactor on
+    // the threaded path must not change what the meters record.
+    let bytes = |m: &CommMetrics| m.per_proc.iter().map(|p| p.sent_bytes).sum::<u64>();
+    assert_eq!(bytes(t), bytes(s), "{name} ({mode}): total byte counts diverge");
+}
+
+#[test]
+fn tomcatv_thread_vs_socket_vectorized() {
+    differential("TOMCATV", tomcatv::source(12, 4, 2), true);
+}
+
+#[test]
+fn tomcatv_thread_vs_socket_per_element() {
+    differential("TOMCATV", tomcatv::source(12, 4, 2), false);
+}
+
+#[test]
+fn dgefa_thread_vs_socket_vectorized() {
+    differential("DGEFA", dgefa::source(12, 4), true);
+}
+
+#[test]
+fn dgefa_thread_vs_socket_per_element() {
+    differential("DGEFA", dgefa::source(12, 4), false);
+}
+
+#[test]
+fn appsp_thread_vs_socket_vectorized() {
+    differential("APPSP", appsp::source_1d(8, 4, 1), true);
+}
+
+#[test]
+fn appsp_thread_vs_socket_per_element() {
+    differential("APPSP", appsp::source_1d(8, 4, 1), false);
+}
+
+/// Satellite check for the Arc-shared payload refactor: the vectorized
+/// threaded replay must record exactly the byte counts the reference
+/// executor records — sharing the payload buffer is invisible to the
+/// meters.
+#[test]
+fn arc_payloads_leave_recorded_bytes_unchanged() {
+    let job = NetJob::new(tomcatv::source(12, 4, 2))
+        .with_default_fills()
+        .unwrap();
+    let compiled = job.compile().unwrap();
+    let fills: Vec<(phpf::ir::VarId, Vec<f64>)> = job
+        .fills
+        .iter()
+        .map(|(n, d)| (compiled.spmd.program.vars.lookup(n).unwrap(), d.clone()))
+        .collect();
+    let init = move |m: &mut phpf::ir::Memory| {
+        for (v, data) in &fills {
+            m.fill_real(*v, data);
+        }
+    };
+    let mut exec = phpf::spmd::SpmdExec::new(&compiled.spmd, &init).with_trace();
+    exec.run().unwrap();
+    let replayed = validate_replay_opts(&compiled.spmd, &init, true).unwrap();
+    let total = |m: &CommMetrics| {
+        m.per_proc
+            .iter()
+            .map(|p| (p.sent_messages, p.sent_bytes))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        total(&exec.metrics),
+        total(&replayed.metrics),
+        "replay meters must match the reference executor byte-for-byte"
+    );
+}

@@ -213,3 +213,35 @@ GOTO 10
     let err = exec.run().unwrap_err();
     assert!(matches!(err, phpf::ir::interp::InterpError::StepLimit));
 }
+
+/// Sabotage the socket backend: one worker process is killed right after
+/// the mesh handshake. The run must fail with an error naming the dead
+/// rank, within bounded time — never hang on the missing peer.
+#[test]
+fn killed_worker_process_is_caught() {
+    use phpf::compile::netrun::{NetJob, NetRunConfig};
+    use std::time::{Duration, Instant};
+
+    let job = NetJob::new(STENCIL).with_default_fills().unwrap();
+    let cfg = NetRunConfig {
+        io_deadline: Duration::from_secs(2),
+        connect_deadline: Duration::from_secs(10),
+        result_deadline: Duration::from_secs(15),
+        fail_rank: Some(1),
+        ..NetRunConfig::default()
+    };
+    let start = Instant::now();
+    let err = phpf::compile::netrun::socket_validate_replay(&job, &cfg)
+        .expect_err("a killed worker must fail the run");
+    // Deadline-bounded detection: well under the stacked worst-case
+    // deadlines, and with the dead rank named in the diagnostic.
+    assert!(
+        start.elapsed() < Duration::from_secs(40),
+        "detection took {:?}", start.elapsed()
+    );
+    assert!(
+        err.contains("worker 1") || err.contains("link") && err.contains("1"),
+        "error must name the dead rank: {}",
+        err
+    );
+}

@@ -179,5 +179,7 @@ END DO
         cell("DGEFA aligned reduction", &ali_r),
         cell("DGEFA replicated reduction", &def_r),
     ]];
-    println!("{}", phpf_bench::bench_json("ablations", "sim", &rows));
+    let trace = phpf_bench::pipeline_trace(&src2d, Options::new(Version::SelectedAlignment))
+        .expect("traced compile");
+    println!("{}", phpf_bench::bench_json_traced("ablations", "sim", &rows, Some(&trace)));
 }

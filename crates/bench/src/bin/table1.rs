@@ -52,5 +52,10 @@ fn main() {
         "replication / selected at P=16: {:.0}x  (paper: \"more than two orders of magnitude\")",
         ratio
     );
-    println!("{}", phpf_bench::bench_json("table1", "sim", &rows));
+    let trace = phpf_bench::pipeline_trace(
+        &tomcatv::source(n, 16, niter),
+        Options::new(Version::SelectedAlignment),
+    )
+    .expect("traced compile");
+    println!("{}", phpf_bench::bench_json_traced("table1", "sim", &rows, Some(&trace)));
 }

@@ -59,5 +59,10 @@ fn main() {
             100.0 * over / row[0].seconds
         );
     }
-    println!("{}", phpf_bench::bench_json("table2", "sim", &rows));
+    let trace = phpf_bench::pipeline_trace(
+        &dgefa::source(n, 16),
+        Options::new(Version::SelectedAlignment),
+    )
+    .expect("traced compile");
+    println!("{}", phpf_bench::bench_json_traced("table2", "sim", &rows, Some(&trace)));
 }

@@ -50,7 +50,12 @@ fn main() {
         )
     );
 
-    println!("{}", phpf_bench::bench_json("table3", "sim", &rows));
+    let trace = phpf_bench::pipeline_trace(
+        &appsp::source_1d(n, 16, niter),
+        Options::new(Version::SelectedAlignment),
+    )
+    .expect("traced compile");
+    println!("{}", phpf_bench::bench_json_traced("table3", "sim", &rows, Some(&trace)));
 
     // Extension beyond the paper: a fixed 3-D distribution (the layout the
     // paper's citation [15] reports as the best hand-tuned one) — partial

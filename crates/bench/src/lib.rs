@@ -125,6 +125,19 @@ pub fn render(title: &str, header: &[&str], rows: &[Vec<Cell>], procs: &[usize])
 /// table binaries emit) from real replays (`"thread"` / `"socket"`,
 /// the `phpfc --backend` names).
 pub fn bench_json(table: &str, backend: &str, rows: &[Vec<Cell>]) -> String {
+    bench_json_traced(table, backend, rows, None)
+}
+
+/// [`bench_json`] with an optional observability trace attached: a
+/// `"trace"` field carrying the pipeline phase spans (name + wall-clock
+/// microseconds) that produced the numbers, so a BENCH_JSON consumer can
+/// attribute compile-side cost without parsing a separate file.
+pub fn bench_json_traced(
+    table: &str,
+    backend: &str,
+    rows: &[Vec<Cell>],
+    trace: Option<&hpf_obs::Trace>,
+) -> String {
     let mut out = format!(
         "BENCH_JSON {{\"table\":\"{}\",\"backend\":\"{}\",\"cells\":[",
         table, backend
@@ -142,8 +155,24 @@ pub fn bench_json(table: &str, backend: &str, rows: &[Vec<Cell>]) -> String {
             ));
         }
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(t) = trace {
+        out.push_str(",\"trace\":");
+        out.push_str(&t.span_summary_json());
+    }
+    out.push('}');
     out
+}
+
+/// Compile `src` once with pipeline tracing on and return the resulting
+/// phase-span trace (parse / ssa / mapping / privatization / lower). The
+/// table binaries attach this to their BENCH_JSON line so the compile-side
+/// cost of the benchmarked configuration is visible next to the model
+/// numbers.
+pub fn pipeline_trace(src: &str, options: Options) -> Result<hpf_obs::Trace, String> {
+    let mut tracer = hpf_obs::BufTracer::pipeline();
+    hpf_compile::compile_source_traced(src, options, &mut tracer)?;
+    Ok(hpf_obs::Trace::from_pipeline(tracer.into_events()))
 }
 
 /// Seconds with adaptive precision (matches the flavor of the paper's
@@ -203,6 +232,32 @@ mod tests {
         assert!(line.contains("\"backend\":\"sim\""), "{}", line);
         assert!(line.contains("\"table\":\"table1\""), "{}", line);
         assert!(line.contains("\"procs\":4"), "{}", line);
+    }
+
+    #[test]
+    fn bench_json_trace_field() {
+        let rows = vec![vec![Cell {
+            version: "selected alignment",
+            procs: 4,
+            seconds: 1.5,
+            comm_seconds: 0.5,
+            messages: 12.0,
+        }]];
+        let src = hpf_kernels::tomcatv::source(12, 4, 1);
+        let trace = pipeline_trace(&src, Options::default()).unwrap();
+        let line = bench_json_traced("table1", "sim", &rows, Some(&trace));
+        assert!(line.starts_with("BENCH_JSON {"), "{}", line);
+        assert!(line.contains("\"trace\":{\"spans\":["), "{}", line);
+        for phase in ["parse", "ssa", "mapping", "privatization", "lower"] {
+            assert!(
+                line.contains(&format!("\"name\":\"{}\"", phase)),
+                "missing {} span: {}",
+                phase,
+                line
+            );
+        }
+        // Without a trace the line is unchanged from bench_json.
+        assert_eq!(bench_json_traced("t", "sim", &rows, None), bench_json("t", "sim", &rows));
     }
 
     /// Table 1's qualitative content at a reduced size: selected <

@@ -23,6 +23,6 @@ pub mod placement;
 pub use cost::{CostBreakdown, MachineParams};
 pub use pattern::{classify, classify_refs, symbolic_owner, CommPattern, DimPos, SymbolicOwner};
 pub use placement::{
-    align_level, place_comm, subscript_align_level, trip_count, var_change_level,
-    vectorization_factor, Placement,
+    align_level, place_comm, placement_tag, subscript_align_level, trip_count,
+    var_change_level, vectorization_factor, Placement,
 };

@@ -229,6 +229,18 @@ pub fn place_comm(
     Placement { level, stmt_level }
 }
 
+/// Human-readable tag of a placement, used by trace events: where a
+/// message executes relative to the statement it feeds.
+pub fn placement_tag(level: usize, stmt_level: usize) -> String {
+    if stmt_level == 0 {
+        "straight-line".to_string()
+    } else if level >= stmt_level {
+        "inner-loop".to_string()
+    } else {
+        format!("hoisted L{}->L{}", stmt_level, level)
+    }
+}
+
 /// Constant trip count of a loop, when its bounds fold to constants at the
 /// loop header.
 pub fn trip_count(p: &Program, cfg: &Cfg, cp: &ConstProp, l: StmtId) -> Option<i64> {

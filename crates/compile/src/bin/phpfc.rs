@@ -14,13 +14,19 @@
 //!                                      over channels, or one OS process
 //!                                      per virtual processor over
 //!                                      sockets); implies --observe
+//!                  [--trace <path>]    record an observability trace of
+//!                                      the run (pipeline phase spans +
+//!                                      per-rank comm events), write it as
+//!                                      chrome://tracing JSON to <path>
+//!                                      and print the compact text
+//!                                      timeline; implies --observe
 //!                  [--pretty]          echo the parsed program back
 //! ```
 //!
 //! With no flags it prints the compilation report (mapping decisions,
 //! guards, communication schedule).
 
-use hpf_compile::{compile_source, netrun, Options, Version};
+use hpf_compile::{compile_source, compile_source_traced, netrun, Options, Version};
 use std::process::ExitCode;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +39,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: phpfc <file.hpf> [--version <v>] [--procs P1[,P2,..]] \
          [--combine] [--auto-priv] [--estimate] [--observe] \
-         [--backend thread|socket] [--pretty]"
+         [--backend thread|socket] [--trace <path>] [--pretty]"
     );
     ExitCode::from(2)
 }
@@ -49,6 +55,7 @@ fn main() -> ExitCode {
     let mut observe = false;
     let mut pretty = false;
     let mut backend: Option<Backend> = None;
+    let mut trace_path: Option<String> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -86,6 +93,12 @@ fn main() -> ExitCode {
                         return usage();
                     }
                 }
+            }
+            "--trace" => {
+                let Some(p) = args.next() else { return usage() };
+                trace_path = Some(p);
+                // A trace is only interesting for an actual run.
+                observe = true;
             }
             "--combine" => combine = true,
             "--auto-priv" => auto_priv = true,
@@ -134,7 +147,15 @@ fn main() -> ExitCode {
     if auto_priv {
         opts.core.auto_array_priv = true;
     }
-    let compiled = match compile_source(&src, opts) {
+    // Pipeline phase spans land here; the socket backend records its own
+    // (its driver recompiles), so only the in-process paths use this one.
+    let mut pipe = hpf_obs::BufTracer::pipeline();
+    let want_pipe_spans = trace_path.is_some() && backend != Some(Backend::Socket);
+    let compiled = match if want_pipe_spans {
+        compile_source_traced(&src, opts, &mut pipe)
+    } else {
+        compile_source(&src, opts)
+    } {
         Ok(c) => c,
         Err(e) => {
             eprintln!("phpfc: {}: {}", file, e);
@@ -170,18 +191,35 @@ fn main() -> ExitCode {
         };
         // Reference executor, or a real message-passing replay validated
         // against it.
+        let mut trace_out: Option<hpf_obs::Trace> = None;
         let observed = match backend {
+            None if trace_path.is_some() => {
+                let mut exec = hpf_spmd::SpmdExec::new(&compiled.spmd, init).with_obs();
+                match exec.run() {
+                    Ok(_) => {
+                        trace_out = exec.take_obs();
+                        Ok(exec.metrics)
+                    }
+                    Err(e) => Err(format!("execution failed: {:?}", e)),
+                }
+            }
             None => compiled.observe(init).map(|(_, metrics)| metrics),
-            Some(Backend::Thread) => hpf_spmd::validate_replay(&compiled.spmd, init)
-                .map(|r| {
-                    println!(
-                        "backend thread: replay on {} worker threads matched the reference \
-                         executor ({} wire messages)",
-                        compiled.spmd.maps.grid.total(),
-                        r.stats.messages_sent
-                    );
-                    r.metrics
-                }),
+            Some(Backend::Thread) => hpf_spmd::validate_replay_traced(
+                &compiled.spmd,
+                init,
+                true,
+                trace_path.is_some(),
+            )
+            .map(|r| {
+                println!(
+                    "backend thread: replay on {} worker threads matched the reference \
+                     executor ({} wire messages)",
+                    compiled.spmd.maps.grid.total(),
+                    r.stats.messages_sent
+                );
+                trace_out = r.obs;
+                r.metrics
+            }),
             Some(Backend::Socket) => {
                 let job = netrun::NetJob {
                     source: src.clone(),
@@ -190,6 +228,7 @@ fn main() -> ExitCode {
                     combine,
                     auto_priv,
                     vectorize: true,
+                    trace: trace_path.is_some(),
                     fills: Vec::new(),
                 };
                 job.with_default_fills()
@@ -203,6 +242,7 @@ fn main() -> ExitCode {
                             compiled.spmd.maps.grid.total(),
                             r.stats.messages_sent
                         );
+                        trace_out = r.obs;
                         r.metrics
                     })
             }
@@ -220,6 +260,40 @@ fn main() -> ExitCode {
                         eprintln!("phpfc: cross-check FAILED: {}", e);
                         return ExitCode::FAILURE;
                     }
+                }
+                if let Some(path) = &trace_path {
+                    let mut trace = trace_out.unwrap_or_default();
+                    if want_pipe_spans {
+                        trace.prepend_pipeline(pipe.into_events());
+                    }
+                    // The trace must agree with the wire accounting: per
+                    // rank, send/recv event counts equal the metrics
+                    // tallies exactly.
+                    let counts = trace.comm_counts();
+                    for (r, p) in metrics.per_proc.iter().enumerate() {
+                        let (s, v) = (
+                            counts.sends.get(r).copied().unwrap_or(0),
+                            counts.recvs.get(r).copied().unwrap_or(0),
+                        );
+                        if s != p.sent_messages || v != p.recv_messages {
+                            eprintln!(
+                                "phpfc: trace/metrics mismatch on rank {}: trace {}s/{}r, \
+                                 metrics {}s/{}r",
+                                r, s, v, p.sent_messages, p.recv_messages
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+                        eprintln!("phpfc: cannot write {}: {}", path, e);
+                        return ExitCode::FAILURE;
+                    }
+                    print!("{}", trace.to_text());
+                    println!(
+                        "trace: wrote {} ({} events; comm counts match wire metrics)",
+                        path,
+                        trace.len()
+                    );
                 }
             }
             Err(e) => {

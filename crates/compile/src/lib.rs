@@ -187,25 +187,49 @@ impl Compiled {
 
 /// Compile an already-built program.
 pub fn compile(p: &Program, options: Options) -> Result<Compiled, String> {
+    compile_traced(p, options, &mut hpf_obs::NullTracer)
+}
+
+/// [`compile`] with a wall-clock span recorded on `tracer` for every
+/// pipeline phase: `ssa` (the analysis bundle culminating in SSA form),
+/// `mapping` (alignment/distribution tables), `privatization` (the
+/// paper's DetermineMapping over scalars and arrays), `lower`, and
+/// `combine` when global message combining is on.
+pub fn compile_traced(
+    p: &Program,
+    options: Options,
+    tracer: &mut dyn hpf_obs::Tracer,
+) -> Result<Compiled, String> {
     let errs = p.validate();
     if !errs.is_empty() {
         return Err(format!("invalid program: {}", errs.join("; ")));
     }
-    let a = Analysis::run(p);
+    let a = hpf_obs::span(tracer, "ssa", |_| Analysis::run(p));
     let grid = options.grid.clone().map(ProcGrid::new);
-    let maps = MappingTable::from_program(p, grid)?;
-    let decisions = phpf_core::map_program(p, &a, &maps, options.core);
-    let mut spmd = lower(p, &a, &maps, decisions);
+    let maps = hpf_obs::span(tracer, "mapping", |_| MappingTable::from_program(p, grid))?;
+    let decisions =
+        hpf_obs::span(tracer, "privatization", |_| phpf_core::map_program(p, &a, &maps, options.core));
+    let mut spmd = hpf_obs::span(tracer, "lower", |_| lower(p, &a, &maps, decisions));
     if options.combine_messages {
-        hpf_spmd::combine_messages(&mut spmd, &a);
+        hpf_obs::span(tracer, "combine", |_| hpf_spmd::combine_messages(&mut spmd, &a));
     }
     Ok(Compiled { spmd, options })
 }
 
 /// Parse mini-HPF source and compile it.
 pub fn compile_source(src: &str, options: Options) -> Result<Compiled, String> {
-    let p = parse_program(src).map_err(|e| e.to_string())?;
-    compile(&p, options)
+    compile_source_traced(src, options, &mut hpf_obs::NullTracer)
+}
+
+/// [`compile_source`] with pipeline phase spans (`parse` plus the
+/// [`compile_traced`] phases) recorded on `tracer`.
+pub fn compile_source_traced(
+    src: &str,
+    options: Options,
+    tracer: &mut dyn hpf_obs::Tracer,
+) -> Result<Compiled, String> {
+    let p = hpf_obs::span(tracer, "parse", |_| parse_program(src)).map_err(|e| e.to_string())?;
+    compile_traced(&p, options, tracer)
 }
 
 #[cfg(test)]

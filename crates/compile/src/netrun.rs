@@ -31,8 +31,9 @@ use hpf_ir::{Program, ScalarTy};
 use hpf_net::frame::{Dec, Enc, FrameKind, FrameReader, FrameWriter, ReadStep};
 use hpf_net::socket::{connect_backoff, Addr, AddrKind, NetListener, SocketConfig, SocketTransport};
 use hpf_net::NetError;
+use hpf_obs::{Body, CommKind, TraceEvent, Tracer};
 use hpf_spmd::metrics::{self, CommMetrics};
-use hpf_spmd::{check_owner_slots, replay_rank, Replayed, ReplayStats, SpmdExec};
+use hpf_spmd::{check_owner_slots, replay_rank_traced, Replayed, ReplayStats, SpmdExec};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -58,6 +59,10 @@ pub struct NetJob {
     /// Record a vectorized (coalesced) trace; `false` replays the
     /// per-element schedule.
     pub vectorize: bool,
+    /// Record observability timelines: pipeline phase spans on the parent
+    /// and per-rank comm/fault events on the workers, merged into
+    /// [`Replayed::obs`].
+    pub trace: bool,
     /// Initial contents of REAL arrays, by variable name.
     pub fills: Vec<(String, Vec<f64>)>,
 }
@@ -71,6 +76,7 @@ impl NetJob {
             combine: false,
             auto_priv: false,
             vectorize: true,
+            trace: false,
             fills: Vec::new(),
         }
     }
@@ -91,6 +97,11 @@ impl NetJob {
 
     pub fn compile(&self) -> Result<Compiled, String> {
         compile_source(&self.source, self.options())
+    }
+
+    /// Compile with pipeline phase spans recorded on `tracer`.
+    pub fn compile_traced(&self, tracer: &mut dyn Tracer) -> Result<Compiled, String> {
+        crate::compile_source_traced(&self.source, self.options(), tracer)
     }
 
     /// Fill every REAL array with the deterministic default pattern
@@ -161,6 +172,7 @@ fn encode_job(job: &NetJob, cfg: &NetRunConfig, nproc: usize, addrs: &[Addr]) ->
     e.boolean(job.combine);
     e.boolean(job.auto_priv);
     e.boolean(job.vectorize);
+    e.boolean(job.trace);
     e.u32(job.fills.len() as u32);
     for (name, data) in &job.fills {
         e.str(name);
@@ -209,6 +221,7 @@ fn decode_job(payload: &[u8]) -> Result<WireJob, String> {
     let combine = d.boolean().map_err(|e| e.to_string())?;
     let auto_priv = d.boolean().map_err(|e| e.to_string())?;
     let vectorize = d.boolean().map_err(|e| e.to_string())?;
+    let trace = d.boolean().map_err(|e| e.to_string())?;
     let nfills = d.u32().map_err(|e| e.to_string())? as usize;
     let mut fills = Vec::with_capacity(nfills);
     for _ in 0..nfills {
@@ -242,6 +255,7 @@ fn decode_job(payload: &[u8]) -> Result<WireJob, String> {
             combine,
             auto_priv,
             vectorize,
+            trace,
             fills,
         },
         fail_rank,
@@ -328,6 +342,148 @@ fn decode_metrics(d: &mut Dec) -> Result<CommMetrics, String> {
     Ok(m)
 }
 
+fn comm_kind_code(k: CommKind) -> u8 {
+    match k {
+        CommKind::Send => 0,
+        CommKind::Recv => 1,
+        CommKind::SendVec => 2,
+        CommKind::RecvVec => 3,
+        CommKind::Reduce => 4,
+        CommKind::Broadcast => 5,
+    }
+}
+
+fn comm_kind_from(code: u8) -> Result<CommKind, String> {
+    Ok(match code {
+        0 => CommKind::Send,
+        1 => CommKind::Recv,
+        2 => CommKind::SendVec,
+        3 => CommKind::RecvVec,
+        4 => CommKind::Reduce,
+        5 => CommKind::Broadcast,
+        _ => return Err(format!("unknown comm kind code {}", code)),
+    })
+}
+
+fn enc_opt_u64(e: &mut Enc, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            e.u8(1);
+            e.u64(x);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn dec_opt_u64(d: &mut Dec) -> Result<Option<u64>, String> {
+    match d.u8().map_err(|e| e.to_string())? {
+        0 => Ok(None),
+        _ => Ok(Some(d.u64().map_err(|e| e.to_string())?)),
+    }
+}
+
+/// Serialise one rank's observability timeline for the result blob.
+fn encode_obs_events(e: &mut Enc, events: &[TraceEvent]) {
+    e.u32(events.len() as u32);
+    for ev in events {
+        e.u64(ev.t_us);
+        e.u32(ev.rank.map(|r| r as u32).unwrap_or(NO_RANK));
+        match &ev.body {
+            Body::Begin { name } => {
+                e.u8(0);
+                e.str(name);
+            }
+            Body::End { name } => {
+                e.u8(1);
+                e.str(name);
+            }
+            Body::Comm {
+                kind,
+                from,
+                to,
+                op,
+                pattern,
+                level,
+                stmt_level,
+                place,
+                elems,
+                seq,
+            } => {
+                e.u8(2);
+                e.u8(comm_kind_code(*kind));
+                e.u32(*from as u32);
+                e.u32(*to as u32);
+                e.u32(op.map(|i| i as u32).unwrap_or(NO_RANK));
+                e.str(pattern);
+                e.u32(*level as u32);
+                e.u32(*stmt_level as u32);
+                e.str(place);
+                e.u64(*elems);
+                enc_opt_u64(e, *seq);
+            }
+            Body::Fault {
+                name,
+                detail,
+                peer,
+                last_seq,
+            } => {
+                e.u8(3);
+                e.str(name);
+                e.str(detail);
+                e.u32(peer.map(|p| p as u32).unwrap_or(NO_RANK));
+                enc_opt_u64(e, *last_seq);
+            }
+        }
+    }
+}
+
+fn decode_obs_events(d: &mut Dec) -> Result<Vec<TraceEvent>, String> {
+    let n = d.u32().map_err(|e| e.to_string())? as usize;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t_us = d.u64().map_err(|e| e.to_string())?;
+        let rank = match d.u32().map_err(|e| e.to_string())? {
+            NO_RANK => None,
+            r => Some(r as usize),
+        };
+        let body = match d.u8().map_err(|e| e.to_string())? {
+            0 => Body::Begin {
+                name: d.str().map_err(|e| e.to_string())?,
+            },
+            1 => Body::End {
+                name: d.str().map_err(|e| e.to_string())?,
+            },
+            2 => Body::Comm {
+                kind: comm_kind_from(d.u8().map_err(|e| e.to_string())?)?,
+                from: d.u32().map_err(|e| e.to_string())? as usize,
+                to: d.u32().map_err(|e| e.to_string())? as usize,
+                op: match d.u32().map_err(|e| e.to_string())? {
+                    NO_RANK => None,
+                    i => Some(i as usize),
+                },
+                pattern: d.str().map_err(|e| e.to_string())?,
+                level: d.u32().map_err(|e| e.to_string())? as usize,
+                stmt_level: d.u32().map_err(|e| e.to_string())? as usize,
+                place: d.str().map_err(|e| e.to_string())?,
+                elems: d.u64().map_err(|e| e.to_string())?,
+                seq: dec_opt_u64(d)?,
+            },
+            3 => Body::Fault {
+                name: d.str().map_err(|e| e.to_string())?,
+                detail: d.str().map_err(|e| e.to_string())?,
+                peer: match d.u32().map_err(|e| e.to_string())? {
+                    NO_RANK => None,
+                    p => Some(p as usize),
+                },
+                last_seq: dec_opt_u64(d)?,
+            },
+            t => return Err(format!("unknown trace event tag {}", t)),
+        };
+        events.push(TraceEvent { t_us, rank, body });
+    }
+    Ok(events)
+}
+
 /// Serialise one rank's entire memory: variables in declaration order,
 /// arrays as `len` tagged values, scalars tagged with a sentinel length.
 fn encode_memory(e: &mut Enc, program: &Program, mem: &Memory) {
@@ -393,7 +549,11 @@ fn decode_memory(d: &mut Dec, program: &Program) -> Result<Memory, String> {
     Ok(mem)
 }
 
-fn encode_result(res: &Result<(ReplayStats, CommMetrics, Memory), String>, program: &Program) -> Vec<u8> {
+fn encode_result(
+    res: &Result<(ReplayStats, CommMetrics, Memory), String>,
+    obs: &[TraceEvent],
+    program: &Program,
+) -> Vec<u8> {
     let mut e = Enc::new();
     match res {
         Ok((stats, m, mem)) => {
@@ -408,16 +568,26 @@ fn encode_result(res: &Result<(ReplayStats, CommMetrics, Memory), String>, progr
             e.str(msg);
         }
     }
+    // The timeline rides along in both arms: a failed replay still ships
+    // its comm events and the transport's fault events.
+    encode_obs_events(&mut e, obs);
     e.buf
 }
+
+type RankResult = Result<(ReplayStats, CommMetrics, Memory), String>;
 
 fn decode_result(
     payload: &[u8],
     program: &Program,
-) -> Result<Result<(ReplayStats, CommMetrics, Memory), String>, String> {
+) -> Result<(RankResult, Vec<TraceEvent>), String> {
     let mut d = Dec::new(payload);
     match d.u8().map_err(|e| e.to_string())? {
-        0 => Ok(Err(d.str().map_err(|e| e.to_string())?)),
+        0 => {
+            let msg = d.str().map_err(|e| e.to_string())?;
+            let obs = decode_obs_events(&mut d)?;
+            d.done().map_err(|e| e.to_string())?;
+            Ok((Err(msg), obs))
+        }
         _ => {
             let stats = ReplayStats {
                 messages_sent: d.u64().map_err(|e| e.to_string())?,
@@ -425,8 +595,9 @@ fn decode_result(
             };
             let m = decode_metrics(&mut d)?;
             let mem = decode_memory(&mut d, program)?;
+            let obs = decode_obs_events(&mut d)?;
             d.done().map_err(|e| e.to_string())?;
-            Ok(Ok((stats, m, mem)))
+            Ok((Ok((stats, m, mem)), obs))
         }
     }
 }
@@ -564,15 +735,29 @@ fn read_blob(reader: &mut FrameReader<hpf_net::socket::NetStream>, what: &str) -
 /// validate it exactly like the threaded `validate_replay`: owner slots
 /// bit-for-bit against the reference executor, metrics merged over ranks.
 pub fn socket_validate_replay(job: &NetJob, cfg: &NetRunConfig) -> Result<Replayed, String> {
-    let compiled = job.compile()?;
+    // Pipeline spans land on the parent's timeline; workers only
+    // contribute per-rank comm/fault events.
+    let mut pipe = hpf_obs::BufTracer::pipeline();
+    let compiled = if job.trace {
+        job.compile_traced(&mut pipe)?
+    } else {
+        job.compile()?
+    };
     let nproc = compiled.spmd.maps.grid.total();
     let init = make_init(&compiled, &job.fills)?;
+    if job.trace {
+        pipe.begin("reference-exec");
+    }
     let mut exec = SpmdExec::new(&compiled.spmd, &init).with_trace();
     if !job.vectorize {
         exec = exec.without_vectorization();
     }
     exec.run()
         .map_err(|e| format!("reference run failed: {:?}", e))?;
+    if job.trace {
+        pipe.end("reference-exec");
+        pipe.begin("replay");
+    }
 
     let listener = NetListener::bind(cfg.addr_kind, "netrun").map_err(|e| e.to_string())?;
     let parent_addr = listener.addr().map_err(|e| e.to_string())?;
@@ -592,7 +777,7 @@ pub fn socket_validate_replay(job: &NetJob, cfg: &NetRunConfig) -> Result<Replay
 
     let result = drive_workers(job, cfg, &compiled, nproc, &listener);
     let reap_errors = reap(&mut children, cfg.result_deadline);
-    let (stats, metrics, mems) = match result {
+    let (stats, metrics, mems, rank_obs) = match result {
         Ok(r) => r,
         Err(mut e) => {
             // Child exit diagnostics often explain the protocol error.
@@ -607,14 +792,26 @@ pub fn socket_validate_replay(job: &NetJob, cfg: &NetRunConfig) -> Result<Replay
     }
     check_owner_slots(&compiled.spmd, &mems, &exec.mems)
         .map_err(|e| format!("processes vs reference: {}", e))?;
+    let obs = if job.trace {
+        pipe.end("replay");
+        Some(hpf_obs::Trace::merge(pipe.into_events(), rank_obs))
+    } else {
+        None
+    };
     Ok(Replayed {
         mems,
         stats,
         metrics,
+        obs,
     })
 }
 
-type DriveOutput = (ReplayStats, CommMetrics, Vec<Memory>);
+type DriveOutput = (
+    ReplayStats,
+    CommMetrics,
+    Vec<Memory>,
+    Vec<(usize, Vec<TraceEvent>)>,
+);
 
 fn drive_workers(
     job: &NetJob,
@@ -668,25 +865,45 @@ fn drive_workers(
     let mut stats = ReplayStats::default();
     let mut metrics = CommMetrics::new(nproc, compiled.spmd.comms.len());
     let mut mems: Vec<Option<Memory>> = (0..nproc).map(|_| None).collect();
+    let mut rank_obs: Vec<(usize, Vec<TraceEvent>)> = Vec::new();
     let mut worker_errors = Vec::new();
     for (rank, conn) in conns.iter_mut().enumerate() {
         let conn = conn.as_mut().unwrap();
         let payload = read_blob(&mut conn.reader, &format!("result from worker {}", rank))?;
-        match decode_result(&payload, program)? {
+        let (res, obs) = decode_result(&payload, program)?;
+        match res {
             Ok((s, m, mem)) => {
                 stats.messages_sent += s.messages_sent;
                 stats.events += s.events;
                 metrics.merge(&m);
                 mems[rank] = Some(mem);
             }
-            Err(msg) => worker_errors.push(format!("worker {}: {}", rank, msg)),
+            Err(msg) => {
+                // Name the fault events the failed rank saw — they usually
+                // explain the failure better than the replay error does.
+                let faults: Vec<&str> = obs
+                    .iter()
+                    .filter_map(|ev| match &ev.body {
+                        Body::Fault { name, .. } => Some(name.as_str()),
+                        _ => None,
+                    })
+                    .collect();
+                let mut msg = format!("worker {}: {}", rank, msg);
+                if !faults.is_empty() {
+                    msg = format!("{} (faults: {})", msg, faults.join(", "));
+                }
+                worker_errors.push(msg);
+            }
+        }
+        if job.trace {
+            rank_obs.push((rank, obs));
         }
     }
     if !worker_errors.is_empty() {
         return Err(worker_errors.join("; "));
     }
     let mems: Vec<Memory> = mems.into_iter().map(|m| m.unwrap()).collect();
-    Ok((stats, metrics, mems))
+    Ok((stats, metrics, mems, rank_obs))
 }
 
 /// Entry point of the `networker` binary: one spawned process per rank.
@@ -732,18 +949,37 @@ pub fn worker_main() -> Result<(), String> {
     let compiled = wire.job.compile()?;
     let program = &compiled.spmd.program;
 
-    let result = run_rank(&wire, rank, &compiled, &listener);
+    let (result, obs) = run_rank(&wire, rank, &compiled, &listener);
     writer
-        .write(FrameKind::Blob, &encode_result(&result, program))
+        .write(FrameKind::Blob, &encode_result(&result, &obs, program))
         .map_err(|e| format!("sending result: {}", e))?;
     result.map(|_| ())
 }
 
+/// Replay this rank, collecting its observability timeline when the job
+/// asks for one — on errors too, so a dead peer's fault events (with the
+/// link's last acknowledged sequence number) still reach the parent.
 fn run_rank(
     wire: &WireJob,
     rank: usize,
     compiled: &Compiled,
     listener: &NetListener,
+) -> (RankResult, Vec<TraceEvent>) {
+    let mut obs = if wire.job.trace {
+        Some(hpf_obs::BufTracer::for_rank(rank))
+    } else {
+        None
+    };
+    let res = run_rank_inner(wire, rank, compiled, listener, obs.as_mut());
+    (res, obs.map(|o| o.into_events()).unwrap_or_default())
+}
+
+fn run_rank_inner(
+    wire: &WireJob,
+    rank: usize,
+    compiled: &Compiled,
+    listener: &NetListener,
+    obs: Option<&mut hpf_obs::BufTracer>,
 ) -> Result<(ReplayStats, CommMetrics, Memory), String> {
     let nproc = compiled.spmd.maps.grid.total();
     if nproc != wire.nproc {
@@ -777,6 +1013,7 @@ fn run_rank(
         // a closed link mid-replay, not a clean goodbye.
         std::process::abort();
     }
-    let (stats, metrics) = replay_rank(&compiled.spmd, &trace[rank], &mut mem, &mut transport)?;
+    let (stats, metrics) =
+        replay_rank_traced(&compiled.spmd, &trace[rank], &mut mem, &mut transport, obs)?;
     Ok((stats, metrics, mem))
 }

@@ -83,6 +83,24 @@ pub enum FrameError {
     Decode(String),
 }
 
+impl FrameError {
+    /// Stable short fault name, used to tag trace fault events (the
+    /// Display form carries the per-instance numbers).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FrameError::BadMagic(_) => "bad-magic",
+            FrameError::BadVersion(_) => "bad-version",
+            FrameError::BadKind(_) => "bad-kind",
+            FrameError::SeqGap { .. } => "seq-gap",
+            FrameError::SeqRepeat { .. } => "seq-repeat",
+            FrameError::BadChecksum { .. } => "bad-checksum",
+            FrameError::Truncated { .. } => "truncated",
+            FrameError::TooLarge(_) => "too-large",
+            FrameError::Decode(_) => "decode",
+        }
+    }
+}
+
 impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -407,6 +425,12 @@ impl<W: std::io::Write> FrameWriter<W> {
     pub fn get_ref(&self) -> &W {
         &self.w
     }
+
+    /// The sequence number the *next* written frame will carry (equals the
+    /// number of frames written so far).
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
 }
 
 /// Sequenced, checksum-validating frame reader over any byte source.
@@ -423,6 +447,13 @@ pub struct FrameReader<R: std::io::Read> {
 impl<R: std::io::Read> FrameReader<R> {
     pub fn new(r: R) -> FrameReader<R> {
         FrameReader { r, seq: 0 }
+    }
+
+    /// The sequence number the *next* frame is expected to carry (equals
+    /// the number of frames successfully read — the link's acknowledged
+    /// high-water mark).
+    pub fn seq(&self) -> u32 {
+        self.seq
     }
 
     /// Read and validate the next frame. `Ok(None)` is a clean end of

@@ -103,6 +103,10 @@ pub struct NetError {
     /// `(local rank, peer rank)` of the failing link.
     pub link: Option<(usize, usize)>,
     pub detail: String,
+    /// Fine-grained fault tag when the error originated as a frame-codec
+    /// fault ("seq-gap", "bad-checksum", ...); `None` otherwise. Trace
+    /// fault events are named by [`NetError::fault_name`].
+    pub fault: Option<&'static str>,
 }
 
 impl NetError {
@@ -111,12 +115,19 @@ impl NetError {
             kind,
             link: None,
             detail: detail.into(),
+            fault: None,
         }
     }
 
     pub fn on_link(mut self, local: usize, peer: usize) -> NetError {
         self.link = Some((local, peer));
         self
+    }
+
+    /// The stable name a trace fault event for this error carries: the
+    /// frame-codec fault name when there is one, else the error kind.
+    pub fn fault_name(&self) -> &'static str {
+        self.fault.unwrap_or_else(|| self.kind.name())
     }
 }
 
@@ -140,7 +151,9 @@ impl std::error::Error for NetError {}
 
 impl From<FrameError> for NetError {
     fn from(e: FrameError) -> NetError {
-        NetError::new(NetErrorKind::Codec, e.to_string())
+        let mut n = NetError::new(NetErrorKind::Codec, e.to_string());
+        n.fault = Some(e.name());
+        n
     }
 }
 
@@ -179,5 +192,20 @@ pub trait Transport: Send {
     /// After `finish`, `send`/`recv` must not be called.
     fn finish(&mut self) -> Result<(), NetError> {
         Ok(())
+    }
+
+    /// Wire sequence number of the last frame sent to `peer`, for
+    /// backends that sequence their links (the socket backend). Backends
+    /// without per-link framing return `None`.
+    fn link_seq(&self, peer: usize) -> Option<u64> {
+        let _ = peer;
+        None
+    }
+
+    /// Drain the fault events this backend recorded (codec faults, dead
+    /// peers, deadlines) so the runtime can merge them into an
+    /// observability trace. Backends that cannot fault return nothing.
+    fn take_fault_events(&mut self) -> Vec<hpf_obs::TraceEvent> {
+        Vec::new()
     }
 }

@@ -381,6 +381,14 @@ pub struct SocketTransport {
     writers: Vec<Option<FrameWriter<NetStream>>>,
     queues: Vec<Option<LinkQueue>>,
     readers: Vec<Option<JoinHandle<()>>>,
+    /// Per link: number of frames successfully read (the acknowledged
+    /// high-water mark — the last acked sequence number is this minus 1).
+    /// Updated by the link's reader thread.
+    acked: Vec<Option<Arc<AtomicU64>>>,
+    /// Fault events recorded on this endpoint (codec faults, dead peers,
+    /// deadlines), drained via [`Transport::take_fault_events`].
+    faults: Vec<hpf_obs::TraceEvent>,
+    origin: Instant,
     stopping: Arc<AtomicBool>,
     gauge: Arc<Gauge>,
     cfg: SocketConfig,
@@ -462,6 +470,7 @@ impl SocketTransport {
                     kind: NetErrorKind::Handshake,
                     link: e.link,
                     detail: format!("rank {} waiting for higher-rank peers: {}", rank, e.detail),
+                    fault: e.fault,
                 })?;
             stream
                 .set_read_timeout(Some(cfg.connect_deadline))
@@ -504,6 +513,7 @@ impl SocketTransport {
             (0..nproc).map(|_| None).collect();
         let mut queues: Vec<Option<LinkQueue>> = (0..nproc).map(|_| None).collect();
         let mut readers: Vec<Option<JoinHandle<()>>> = (0..nproc).map(|_| None).collect();
+        let mut acked: Vec<Option<Arc<AtomicU64>>> = (0..nproc).map(|_| None).collect();
         for (peer, link) in links.into_iter().enumerate() {
             let Some((reader, writer)) = link else {
                 continue;
@@ -519,15 +529,21 @@ impl SocketTransport {
             let (tx, rx) = channel();
             let st = stopping.clone();
             let g = gauge.clone();
+            // The handshake already consumed the peer's Hello, so the
+            // link's acknowledged frame count starts at the reader's
+            // current sequence position.
+            let ack = Arc::new(AtomicU64::new(reader.seq() as u64));
+            let ack_thread = ack.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("net-r{}p{}", rank, peer))
-                .spawn(move || reader_loop(reader, tx, st, g, rank, peer))
+                .spawn(move || reader_loop(reader, tx, st, g, ack_thread, rank, peer))
                 .map_err(|e| {
                     NetError::new(NetErrorKind::Io, format!("spawn reader: {}", e))
                 })?;
             writers[peer] = Some(writer);
             queues[peer] = Some(rx);
             readers[peer] = Some(handle);
+            acked[peer] = Some(ack);
         }
         Ok(SocketTransport {
             rank,
@@ -535,11 +551,46 @@ impl SocketTransport {
             writers,
             queues,
             readers,
+            acked,
+            faults: Vec::new(),
+            origin: Instant::now(),
             stopping,
             gauge,
             cfg,
             finished: false,
         })
+    }
+
+    /// Number of frames successfully read on the link from `peer`
+    /// (including the handshake Hello); the last acknowledged sequence
+    /// number is this minus one.
+    pub fn acked_frames(&self, peer: usize) -> u64 {
+        self.acked
+            .get(peer)
+            .and_then(|a| a.as_ref())
+            .map(|a| a.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Fault events recorded so far (see [`Transport::take_fault_events`]
+    /// for the draining accessor).
+    pub fn faults(&self) -> &[hpf_obs::TraceEvent] {
+        &self.faults
+    }
+
+    /// Record a fault event for an error observed on the link to `peer`.
+    fn note_fault(&mut self, peer: usize, e: &NetError) {
+        let acked = self.acked_frames(peer);
+        self.faults.push(hpf_obs::TraceEvent {
+            t_us: self.origin.elapsed().as_micros() as u64,
+            rank: Some(self.rank),
+            body: hpf_obs::Body::Fault {
+                name: e.fault_name().to_string(),
+                detail: e.detail.clone(),
+                peer: Some(peer),
+                last_seq: acked.checked_sub(1),
+            },
+        });
     }
 
     fn teardown(&mut self) {
@@ -571,6 +622,7 @@ fn expect_hello(
             kind: NetErrorKind::Handshake,
             link: e.link,
             detail: format!("waiting for rank exchange: {}", e.detail),
+            fault: e.fault,
         };
         if peer == usize::MAX {
             e
@@ -603,11 +655,18 @@ fn reader_loop(
     tx: Sender<Result<WireMsg, NetError>>,
     stopping: Arc<AtomicBool>,
     gauge: Arc<Gauge>,
+    acked: Arc<AtomicU64>,
     local: usize,
     peer: usize,
 ) {
     loop {
-        match reader.read_step() {
+        let step = reader.read_step();
+        if matches!(step, Ok(ReadStep::Frame(_))) {
+            // The frame passed sequence + checksum validation: advance the
+            // link's acknowledged high-water mark.
+            acked.store(reader.seq() as u64, Ordering::Relaxed);
+        }
+        match step {
             Ok(ReadStep::Idle) => {
                 if stopping.load(Ordering::Relaxed) {
                     return;
@@ -674,26 +733,33 @@ impl Transport for SocketTransport {
                     .on_link(rank, to)
             })?;
         let (kind, payload) = frame::encode_msg(msg);
-        w.write(kind, &payload).map_err(|e| {
+        let res = w.write(kind, &payload).map_err(|e| {
             NetError::new(classify_io(&e), format!("send failed: {}", e)).on_link(rank, to)
-        })
+        });
+        if let Err(e) = &res {
+            let e = e.clone();
+            self.note_fault(to, &e);
+        }
+        res
     }
 
     fn recv(&mut self, from: usize) -> Result<WireMsg, NetError> {
         let rank = self.rank;
         let deadline = self.cfg.io_deadline;
-        let rx = self
-            .queues
-            .get(from)
-            .and_then(|q| q.as_ref())
-            .ok_or_else(|| {
-                NetError::new(NetErrorKind::Protocol, format!("no link from rank {}", from))
-                    .on_link(rank, from)
-            })?;
-        match rx.recv_timeout(deadline) {
+        let rx = match self.queues.get(from).and_then(|q| q.as_ref()) {
+            Some(rx) => rx,
+            None => {
+                return Err(NetError::new(
+                    NetErrorKind::Protocol,
+                    format!("no link from rank {}", from),
+                )
+                .on_link(rank, from))
+            }
+        };
+        let res = match rx.recv_timeout(deadline) {
             Ok(Ok(m)) => {
                 self.gauge.consumed();
-                Ok(m)
+                return Ok(m);
             }
             Ok(Err(e)) => Err(e),
             Err(RecvTimeoutError::Timeout) => Err(NetError::new(
@@ -706,7 +772,12 @@ impl Transport for SocketTransport {
                 "link terminated",
             )
             .on_link(rank, from)),
+        };
+        if let Err(e) = &res {
+            let e = e.clone();
+            self.note_fault(from, &e);
         }
+        res
     }
 
     fn peak_in_flight(&self) -> u64 {
@@ -716,6 +787,19 @@ impl Transport for SocketTransport {
     fn finish(&mut self) -> Result<(), NetError> {
         self.teardown();
         Ok(())
+    }
+
+    fn link_seq(&self, peer: usize) -> Option<u64> {
+        self.writers
+            .get(peer)
+            .and_then(|w| w.as_ref())
+            // seq() is the *next* number; the last written frame (at least
+            // the Hello) carried seq() - 1.
+            .map(|w| (w.seq() as u64).saturating_sub(1))
+    }
+
+    fn take_fault_events(&mut self) -> Vec<hpf_obs::TraceEvent> {
+        std::mem::take(&mut self.faults)
     }
 }
 

@@ -167,6 +167,151 @@ fn silent_peer_hits_the_deadline() {
     peer.join().unwrap();
 }
 
+// ---------------------------------------------------------------------
+// Fault *visibility*: beyond surfacing as errors, every injected fault
+// must leave a named fault event on the transport's timeline, so the
+// merged observability trace tells the same story the errors told.
+// ---------------------------------------------------------------------
+
+/// Inject a fault, let the receive fail, and return the merged trace the
+/// runtime would build from this rank's timeline.
+fn trace_after_fault(
+    misbehave: impl FnOnce(TcpStream) + Send + 'static,
+    kind: NetErrorKind,
+    needle: &str,
+) -> hpf_obs::Trace {
+    let (mut t, peer) = rank0_with_raw_peer(misbehave);
+    expect_fault(t.recv(1), kind, needle);
+    let events = t.take_fault_events();
+    peer.join().unwrap();
+    let _ = t.finish();
+    hpf_obs::Trace::from_ranks(vec![(0, events)])
+}
+
+/// Each frame-level fault produces exactly one fault event carrying the
+/// frame codec's stable name and the peer it happened with.
+#[test]
+fn injected_faults_are_named_in_the_trace() {
+    for (name, needle, fault) in [
+        (
+            "seq-gap",
+            "dropped frame",
+            Box::new(|mut s: TcpStream| {
+                s.write_all(&encode_frame(FrameKind::One, 2, &one_value(3.25)))
+                    .unwrap();
+            }) as Box<dyn FnOnce(TcpStream) + Send>,
+        ),
+        (
+            "truncated",
+            "truncated frame",
+            Box::new(|mut s: TcpStream| {
+                let f = encode_frame(FrameKind::One, 1, &one_value(1.0));
+                s.write_all(&f[..HEADER_LEN + 4]).unwrap();
+                drop(s);
+            }),
+        ),
+        (
+            "bad-checksum",
+            "checksum",
+            Box::new(|mut s: TcpStream| {
+                let mut f = encode_frame(FrameKind::One, 1, &one_value(2.0));
+                let last = f.len() - 1;
+                f[last] ^= 0xff;
+                s.write_all(&f).unwrap();
+            }),
+        ),
+    ] {
+        let trace = trace_after_fault(fault, NetErrorKind::Codec, needle);
+        assert_eq!(trace.fault_names(), vec![name], "fault {} must be named", name);
+        let Some(hpf_obs::TraceEvent {
+            rank: Some(0),
+            body: hpf_obs::Body::Fault { peer, .. },
+            ..
+        }) = trace.events.last()
+        else {
+            panic!("{}: trace must end with rank 0's fault event", name);
+        };
+        assert_eq!(*peer, Some(1), "{}: fault names the peer", name);
+    }
+}
+
+/// A killed worker yields a trace whose final fault event carries the
+/// last sequence number this side acknowledged on the link: the Hello
+/// (seq 0) plus every data frame that arrived intact before the death.
+#[test]
+fn killed_peer_trace_ends_with_last_acked_seq() {
+    // Peer delivers one good frame (seq 1), then dies without a Bye.
+    let (mut t, peer) = rank0_with_raw_peer(|mut s| {
+        s.write_all(&encode_frame(FrameKind::One, 1, &one_value(9.0)))
+            .unwrap();
+        drop(s);
+    });
+    assert_eq!(t.recv(1).unwrap(), WireMsg::One(Value::Real(9.0)));
+    expect_fault(t.recv(1), NetErrorKind::Closed, "without goodbye");
+    assert_eq!(t.acked_frames(1), 2, "Hello + one data frame acked");
+    let trace = hpf_obs::Trace::from_ranks(vec![(0, t.take_fault_events())]);
+    let Some(hpf_obs::TraceEvent {
+        body:
+            hpf_obs::Body::Fault {
+                name,
+                last_seq,
+                peer: fault_peer,
+                ..
+            },
+        ..
+    }) = trace.events.last()
+    else {
+        panic!("trace must end with the death of the link");
+    };
+    assert_eq!(name, "closed");
+    assert_eq!(*fault_peer, Some(1));
+    assert_eq!(*last_seq, Some(1), "last acked data frame had seq 1");
+    peer.join().unwrap();
+    let _ = t.finish();
+
+    // A peer that dies straight after the handshake acked only the Hello.
+    let (mut t, peer) = rank0_with_raw_peer(drop);
+    expect_fault(t.recv(1), NetErrorKind::Closed, "without goodbye");
+    let events = t.take_fault_events();
+    let Some(hpf_obs::Body::Fault { last_seq, .. }) = events.last().map(|e| &e.body) else {
+        panic!("missing fault event");
+    };
+    assert_eq!(*last_seq, Some(0), "only the Hello (seq 0) was acked");
+    peer.join().unwrap();
+    let _ = t.finish();
+}
+
+/// A silent peer's deadline trip is visible in the trace too, named after
+/// the error kind (no finer codec tag applies).
+#[test]
+fn deadline_fault_is_named_in_the_trace() {
+    let trace = trace_after_fault(
+        |s| {
+            std::thread::sleep(Duration::from_secs(4));
+            drop(s);
+        },
+        NetErrorKind::Deadline,
+        "no message within",
+    );
+    assert_eq!(trace.fault_names(), vec!["deadline"]);
+}
+
+/// Draining is destructive: once taken, fault events are gone.
+#[test]
+fn take_fault_events_drains() {
+    let (mut t, peer) = rank0_with_raw_peer(|mut s| {
+        s.write_all(&encode_frame(FrameKind::One, 2, &one_value(0.5)))
+            .unwrap();
+    });
+    expect_fault(t.recv(1), NetErrorKind::Codec, "dropped frame");
+    assert_eq!(t.faults().len(), 1);
+    assert_eq!(t.take_fault_events().len(), 1);
+    assert!(t.take_fault_events().is_empty(), "second drain must be empty");
+    assert!(t.faults().is_empty());
+    peer.join().unwrap();
+    let _ = t.finish();
+}
+
 /// A corrupted payload (checksum mismatch) is detected rather than
 /// decoded into garbage values.
 #[test]

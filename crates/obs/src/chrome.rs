@@ -1,0 +1,198 @@
+//! chrome://tracing (Trace Event Format) exporter.
+//!
+//! Renders the JSON-array flavor of the format: `B`/`E` duration events
+//! for spans and `i` (instant) events for comm and fault records. Process
+//! id 0 is the compile pipeline; rank *r* renders as pid *r + 1* so each
+//! rank gets its own row in the viewer. Timestamps are each stream's own
+//! microsecond clock — rows are individually accurate but not aligned
+//! across processes (the clocks are never synchronized; see DESIGN.md §6).
+
+use crate::{Body, Trace, TraceEvent};
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn pid(e: &TraceEvent) -> usize {
+    match e.rank {
+        None => 0,
+        Some(r) => r + 1,
+    }
+}
+
+fn render_event(e: &TraceEvent, out: &mut String) {
+    match &e.body {
+        Body::Begin { name } => {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":{},\"pid\":{},\"tid\":0}}",
+                json_escape(name),
+                e.t_us,
+                pid(e)
+            ));
+        }
+        Body::End { name } => {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":{},\"pid\":{},\"tid\":0}}",
+                json_escape(name),
+                e.t_us,
+                pid(e)
+            ));
+        }
+        Body::Comm {
+            kind,
+            from,
+            to,
+            op,
+            pattern,
+            level,
+            stmt_level,
+            place,
+            elems,
+            seq,
+        } => {
+            let name = match op {
+                Some(i) => format!("{} op{}", kind.name(), i),
+                None => kind.name().to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"comm\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"from\":{},\"to\":{},\"pattern\":\"{}\",\"level\":{},\"stmt_level\":{},\
+                 \"place\":\"{}\",\"elems\":{}{}}}}}",
+                json_escape(&name),
+                e.t_us,
+                pid(e),
+                from,
+                to,
+                json_escape(pattern),
+                level,
+                stmt_level,
+                json_escape(place),
+                elems,
+                match seq {
+                    Some(s) => format!(",\"seq\":{}", s),
+                    None => String::new(),
+                }
+            ));
+        }
+        Body::Fault {
+            name,
+            detail,
+            peer,
+            last_seq,
+        } => {
+            out.push_str(&format!(
+                "{{\"name\":\"fault:{}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"detail\":\"{}\"{}{}}}}}",
+                json_escape(name),
+                e.t_us,
+                pid(e),
+                json_escape(detail),
+                match peer {
+                    Some(p) => format!(",\"peer\":{}", p),
+                    None => String::new(),
+                },
+                match last_seq {
+                    Some(s) => format!(",\"last_seq\":{}", s),
+                    None => String::new(),
+                }
+            ));
+        }
+    }
+}
+
+/// Render the whole trace as a chrome://tracing-loadable JSON array,
+/// including process-name metadata so the viewer labels the rows.
+pub fn render(t: &Trace) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let mut emit = |s: &str, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(s);
+    };
+    // Row labels: pipeline + one per rank.
+    let mut meta = String::new();
+    render_meta(0, "pipeline", &mut meta);
+    emit(&meta, &mut out);
+    for r in 0..t.nranks() {
+        let mut m = String::new();
+        render_meta(r + 1, &format!("rank {}", r), &mut m);
+        emit(&m, &mut out);
+    }
+    for e in &t.events {
+        let mut s = String::new();
+        render_event(e, &mut s);
+        emit(&s, &mut out);
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn render_meta(pid: usize, name: &str, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+        pid,
+        json_escape(name)
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Body, BufTracer, CommKind, Trace, Tracer};
+
+    #[test]
+    fn renders_loadable_array_with_balanced_spans() {
+        let mut p = BufTracer::pipeline();
+        p.begin("parse");
+        p.end("parse");
+        let mut r = BufTracer::for_rank(0);
+        r.record(Body::Comm {
+            kind: CommKind::SendVec,
+            from: 0,
+            to: 1,
+            op: Some(3),
+            pattern: "shift".into(),
+            level: 1,
+            stmt_level: 2,
+            place: "hoisted L2->L1".into(),
+            elems: 8,
+            seq: Some(5),
+        });
+        r.record(Body::Fault {
+            name: "closed".into(),
+            detail: "peer \"died\"".into(),
+            peer: Some(1),
+            last_seq: Some(4),
+        });
+        let t = Trace::merge(p.into_events(), vec![(0, r.into_events())]);
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+        assert!(json.contains("\"name\":\"SendVec op3\""));
+        assert!(json.contains("\"cat\":\"comm\""));
+        assert!(json.contains("\"seq\":5"));
+        assert!(json.contains("\"name\":\"fault:closed\""));
+        assert!(json.contains("peer \\\"died\\\""));
+        assert!(json.contains("\"name\":\"rank 0\""));
+        // No raw control characters or unescaped quotes inside strings:
+        // every line must parse as a standalone object boundary.
+        assert!(json.matches("\"pid\":1").count() >= 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Compact text timeline exporter.
+//!
+//! Spans render one line per begin/end pair with indentation and
+//! duration; comm events render in order but run-length-coalesced: a run
+//! of consecutive events with the same kind, op, endpoints and pattern
+//! collapses to a single line with a repeat count and the summed element
+//! total. Faults always render individually.
+
+use crate::{Body, CommKind, Trace, TraceEvent};
+use std::fmt::Write;
+
+/// A comm run's coalescing key.
+#[derive(PartialEq)]
+struct RunKey {
+    kind: CommKind,
+    from: usize,
+    to: usize,
+    op: Option<usize>,
+    pattern: String,
+    place: String,
+}
+
+fn comm_key(e: &TraceEvent) -> Option<(RunKey, u64)> {
+    match &e.body {
+        Body::Comm {
+            kind,
+            from,
+            to,
+            op,
+            pattern,
+            place,
+            elems,
+            ..
+        } => Some((
+            RunKey {
+                kind: *kind,
+                from: *from,
+                to: *to,
+                op: *op,
+                pattern: pattern.clone(),
+                place: place.clone(),
+            },
+            *elems,
+        )),
+        _ => None,
+    }
+}
+
+fn flush_run(out: &mut String, indent: usize, key: &RunKey, count: u64, elems: u64) {
+    let _ = write!(out, "{:indent$}", "", indent = indent);
+    let op = match key.op {
+        Some(i) => format!(" op{}", i),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "{}{} {}->{} [{}] {}  x{} ({} elems)",
+        key.kind.name(),
+        op,
+        key.from,
+        key.to,
+        key.pattern,
+        key.place,
+        count,
+        elems
+    );
+}
+
+fn render_stream<'a>(
+    out: &mut String,
+    events: impl Iterator<Item = &'a TraceEvent>,
+) {
+    let mut depth = 0usize;
+    let mut begin_stack: Vec<(String, u64)> = Vec::new();
+    let mut run: Option<(RunKey, u64, u64)> = None;
+    for e in events {
+        if let Some((key, elems)) = comm_key(e) {
+            match &mut run {
+                Some((k, count, total)) if *k == key => {
+                    *count += 1;
+                    *total += elems;
+                }
+                _ => {
+                    if let Some((k, count, total)) = run.take() {
+                        flush_run(out, 2 + depth * 2, &k, count, total);
+                    }
+                    run = Some((key, 1, elems));
+                }
+            }
+            continue;
+        }
+        if let Some((k, count, total)) = run.take() {
+            flush_run(out, 2 + depth * 2, &k, count, total);
+        }
+        match &e.body {
+            Body::Begin { name } => {
+                begin_stack.push((name.clone(), e.t_us));
+                depth += 1;
+            }
+            Body::End { name } => {
+                let t0 = begin_stack
+                    .iter()
+                    .rposition(|(n, _)| n == name)
+                    .map(|i| begin_stack.remove(i).1);
+                depth = depth.saturating_sub(1);
+                let _ = write!(out, "{:indent$}", "", indent = 2 + depth * 2);
+                match t0 {
+                    Some(t0) => {
+                        let _ = writeln!(out, "{}: {} us", name, e.t_us.saturating_sub(t0));
+                    }
+                    None => {
+                        let _ = writeln!(out, "{}: (unmatched end)", name);
+                    }
+                }
+            }
+            Body::Fault {
+                name,
+                detail,
+                peer,
+                last_seq,
+            } => {
+                let _ = write!(out, "{:indent$}", "", indent = 2 + depth * 2);
+                let _ = write!(out, "FAULT {}", name);
+                if let Some(p) = peer {
+                    let _ = write!(out, " peer={}", p);
+                }
+                if let Some(s) = last_seq {
+                    let _ = write!(out, " last_seq={}", s);
+                }
+                let _ = writeln!(out, ": {}", detail);
+            }
+            Body::Comm { .. } => unreachable!("comm handled above"),
+        }
+    }
+    if let Some((k, count, total)) = run.take() {
+        flush_run(out, 2 + depth * 2, &k, count, total);
+    }
+    for (name, _) in begin_stack.iter().rev() {
+        let _ = writeln!(out, "  {}: (never closed)", name);
+    }
+}
+
+/// Render the compact timeline: the pipeline stream, then each rank.
+pub fn render(t: &Trace) -> String {
+    let mut out = String::new();
+    if t.pipeline_events().next().is_some() {
+        out.push_str("pipeline:\n");
+        render_stream(&mut out, t.pipeline_events());
+    }
+    for r in 0..t.nranks() {
+        if t.rank_events(r).next().is_none() {
+            continue;
+        }
+        let _ = writeln!(out, "rank {}:", r);
+        render_stream(&mut out, t.rank_events(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Body, BufTracer, CommKind, Trace, Tracer};
+
+    fn send(to: usize) -> Body {
+        Body::Comm {
+            kind: CommKind::Send,
+            from: 0,
+            to,
+            op: None,
+            pattern: "element".into(),
+            level: 1,
+            stmt_level: 1,
+            place: "inner-loop".into(),
+            elems: 1,
+            seq: None,
+        }
+    }
+
+    #[test]
+    fn coalesces_runs_and_times_spans() {
+        let mut p = BufTracer::pipeline();
+        p.begin("parse");
+        p.end("parse");
+        let mut r = BufTracer::for_rank(0);
+        r.record(send(1));
+        r.record(send(1));
+        r.record(send(1));
+        r.record(send(2));
+        let t = Trace::merge(p.into_events(), vec![(0, r.into_events())]);
+        let txt = t.to_text();
+        assert!(txt.contains("pipeline:"), "{}", txt);
+        assert!(txt.contains("parse:"), "{}", txt);
+        assert!(txt.contains("rank 0:"), "{}", txt);
+        assert!(txt.contains("x3 (3 elems)"), "{}", txt);
+        assert!(txt.contains("0->2"), "{}", txt);
+        // Three identical sends + one different = exactly two comm lines.
+        assert_eq!(txt.matches("Send 0->").count(), 2, "{}", txt);
+    }
+
+    #[test]
+    fn faults_render_individually() {
+        let mut r = BufTracer::for_rank(1);
+        r.record(Body::Fault {
+            name: "truncated".into(),
+            detail: "truncated frame: got 4 of 16 bytes".into(),
+            peer: Some(0),
+            last_seq: None,
+        });
+        let t = Trace::from_ranks(vec![(1, r.into_events())]);
+        let txt = t.to_text();
+        assert!(txt.contains("FAULT truncated peer=0:"), "{}", txt);
+    }
+}

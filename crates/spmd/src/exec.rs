@@ -20,6 +20,7 @@ use hpf_analysis::RedOp;
 use hpf_dist::{dist_owner, GridCoord, GridDimRule, OwnerSet, ProcGrid};
 use hpf_ir::interp::{eval_binop, eval_intrinsic, ArrayStore, InterpError, Memory};
 use hpf_ir::{ArrayRef, Expr, Label, LValue, Stmt, StmtId, Value, VarId};
+use hpf_obs::{Body, BufTracer, CommKind};
 use phpf_core::ScalarMapping;
 use std::collections::{HashMap, HashSet};
 
@@ -106,6 +107,11 @@ struct OpenGroup {
     /// traces are append-only.
     send_idx: Option<usize>,
     recv_idx: Option<usize>,
+    /// Positions of the group's comm events in the sender's and receiver's
+    /// observability timelines (present only when observing), so each
+    /// coalesced element grows the open message's `elems` in place.
+    obs_send: Option<usize>,
+    obs_recv: Option<usize>,
     /// Slots already carried — repeat fetches of one element are free.
     seen: HashSet<Slot>,
 }
@@ -122,6 +128,10 @@ pub struct SpmdExec<'s> {
     pub step_limit: u64,
     /// When present, the execution is recorded for threaded replay.
     pub trace: Option<Trace>,
+    /// When present, one observability timeline per processor: every wire
+    /// message yields a send-side event on the source rank's timeline and
+    /// a receive-side event on the destination rank's.
+    pub obs: Option<Vec<BufTracer>>,
     /// Current loop-variable bindings (outermost first).
     loop_env: Vec<(VarId, i64)>,
     /// Coalesce hoisted fetches into vectorized messages (default on).
@@ -158,6 +168,7 @@ impl<'s> SpmdExec<'s> {
             steps: 0,
             step_limit: 2_000_000_000,
             trace: None,
+            obs: None,
             loop_env: Vec::new(),
             vectorize: true,
             cur_stmt: None,
@@ -170,6 +181,58 @@ impl<'s> SpmdExec<'s> {
     pub fn with_trace(mut self) -> Self {
         self.trace = Some(vec![Vec::new(); self.grid.total()]);
         self
+    }
+
+    /// Enable observability recording (one timeline per processor).
+    pub fn with_obs(mut self) -> Self {
+        self.obs = Some((0..self.grid.total()).map(BufTracer::for_rank).collect());
+        self
+    }
+
+    /// Take the recorded observability timelines as one merged trace
+    /// (ranks in ascending order). `None` unless [`SpmdExec::with_obs`]
+    /// was used.
+    pub fn take_obs(&mut self) -> Option<hpf_obs::Trace> {
+        self.obs.take().map(|ts| {
+            hpf_obs::Trace::from_ranks(
+                ts.into_iter()
+                    .enumerate()
+                    .map(|(r, t)| (r, t.into_events()))
+                    .collect(),
+            )
+        })
+    }
+
+    /// Record one wire message on both endpoint timelines; returns the
+    /// (send, recv) event indices for in-place growth of coalesced groups.
+    #[allow(clippy::too_many_arguments)]
+    fn obs_message(
+        &mut self,
+        (send_kind, recv_kind): (CommKind, CommKind),
+        (src, dst): (usize, usize),
+        op: Option<usize>,
+        pattern: &str,
+        (level, stmt_level): (usize, usize),
+        elems: u64,
+    ) -> (Option<usize>, Option<usize>) {
+        let Some(obs) = &mut self.obs else {
+            return (None, None);
+        };
+        let mk = |kind: CommKind| Body::Comm {
+            kind,
+            from: src,
+            to: dst,
+            op,
+            pattern: pattern.to_string(),
+            level,
+            stmt_level,
+            place: hpf_comm::placement_tag(level, stmt_level),
+            elems,
+            seq: None,
+        };
+        let s = obs[src].push(mk(send_kind));
+        let r = obs[dst].push(mk(recv_kind));
+        (Some(s), Some(r))
     }
 
     /// Disable fetch coalescing: every cross-processor element moves as
@@ -220,11 +283,25 @@ impl<'s> SpmdExec<'s> {
                     }
                     None => (None, None),
                 };
+                let (lvl, slvl) = {
+                    let c = &self.sp.comms[i];
+                    (c.level, c.stmt_level)
+                };
+                let (obs_send, obs_recv) = self.obs_message(
+                    (CommKind::SendVec, CommKind::RecvVec),
+                    (src, dst),
+                    Some(i),
+                    pattern,
+                    (lvl, slvl),
+                    0,
+                );
                 self.open.insert(
                     key,
                     OpenGroup {
                         send_idx,
                         recv_idx,
+                        obs_send,
+                        obs_recv,
                         seen: HashSet::new(),
                     },
                 );
@@ -245,6 +322,14 @@ impl<'s> SpmdExec<'s> {
                         slots.push(slot);
                     }
                 }
+                if let Some(obs) = &mut self.obs {
+                    if let Some(x) = g.obs_send {
+                        obs[src].bump_elems(x, 1);
+                    }
+                    if let Some(x) = g.obs_recv {
+                        obs[dst].bump_elems(x, 1);
+                    }
+                }
                 self.metrics.note_payload(pattern, i, src, dst, bytes);
             }
         } else {
@@ -262,6 +347,14 @@ impl<'s> SpmdExec<'s> {
                 }
             };
             self.metrics.note_message(pattern, op, src, dst, bytes);
+            let (lvl, slvl) = match op {
+                Some(i) => {
+                    let c = &self.sp.comms[i];
+                    (c.level, c.stmt_level)
+                }
+                None => (self.loop_env.len(), self.loop_env.len()),
+            };
+            self.obs_message((CommKind::Send, CommKind::Recv), (src, dst), op, pattern, (lvl, slvl), 1);
             if self.trace.is_some() {
                 self.record(src, Event::Send { to: dst, slot });
                 self.record(dst, Event::Recv { from: src, slot });
@@ -478,6 +571,36 @@ impl<'s> SpmdExec<'s> {
                                 self.metrics
                                     .note_message(crate::metrics::REDUCE, None, a, b, lb);
                             }
+                        }
+                    }
+                }
+                if self.obs.is_some() {
+                    // One obs event pair per wire message: members stream
+                    // partials (acc, then loc) to the leader, the leader
+                    // broadcasts the folded result back.
+                    let leader = pids[0];
+                    let lvl = self.loop_env.len();
+                    let n_msgs = 1 + usize::from(op.loc.is_some());
+                    for &q in &pids[1..] {
+                        for _ in 0..n_msgs {
+                            self.obs_message(
+                                (CommKind::Reduce, CommKind::Reduce),
+                                (q, leader),
+                                None,
+                                crate::metrics::REDUCE,
+                                (lvl, lvl),
+                                1,
+                            );
+                        }
+                        for _ in 0..n_msgs {
+                            self.obs_message(
+                                (CommKind::Broadcast, CommKind::Broadcast),
+                                (leader, q),
+                                None,
+                                crate::metrics::REDUCE,
+                                (lvl, lvl),
+                                1,
+                            );
                         }
                     }
                 }

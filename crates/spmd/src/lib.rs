@@ -39,6 +39,6 @@ pub use guard::Guard;
 pub use lower::{lower, CommData, CommOp, ReduceOp, SpmdProgram};
 pub use metrics::CommMetrics;
 pub use runtime::{
-    check_owner_slots, replay, replay_rank, validate_replay, validate_replay_opts, Replayed,
-    ReplayStats,
+    check_owner_slots, replay, replay_rank, replay_rank_traced, replay_traced, validate_replay,
+    validate_replay_opts, validate_replay_traced, Replayed, ReplayStats,
 };

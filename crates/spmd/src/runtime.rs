@@ -27,6 +27,7 @@ use hpf_analysis::RedOp;
 use hpf_ir::interp::{eval_binop, eval_intrinsic, InterpError, Memory};
 use hpf_ir::{Expr, LValue, Program, Stmt, Value, VarId};
 use hpf_net::{channel_group, Transport, WireMsg};
+use hpf_obs::{Body, BufTracer, CommKind};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -47,6 +48,8 @@ pub struct Replayed {
     /// transport's gauge peak: sent-but-not-yet-received messages for the
     /// channel backend, receive-queue depth for the socket backend.
     pub metrics: CommMetrics,
+    /// Merged per-rank observability timelines, when the replay was traced.
+    pub obs: Option<hpf_obs::Trace>,
 }
 
 /// Replay one rank's recorded event list over a transport, mutating the
@@ -61,6 +64,22 @@ pub fn replay_rank<T: Transport>(
     mem: &mut Memory,
     transport: &mut T,
 ) -> Result<(ReplayStats, CommMetrics), String> {
+    replay_rank_traced(sp, events, mem, transport, None)
+}
+
+/// [`replay_rank`] with an optional observability timeline: every wire
+/// message this rank sends or receives is recorded as a comm event (sends
+/// tagged with the link's wire sequence number when the transport frames
+/// its links), and any fault events the transport accumulated are drained
+/// into the timeline — on errors too, so a trace survives a dead peer and
+/// ends with the link's last acknowledged sequence number.
+pub fn replay_rank_traced<T: Transport>(
+    sp: &SpmdProgram,
+    events: &[Event],
+    mem: &mut Memory,
+    transport: &mut T,
+    mut obs: Option<&mut BufTracer>,
+) -> Result<(ReplayStats, CommMetrics), String> {
     let pid = transport.rank();
     let nproc = transport.nproc();
     let mut worker = RankWorker {
@@ -73,15 +92,28 @@ pub fn replay_rank<T: Transport>(
         last_vec: None,
         stats: ReplayStats::default(),
         metrics: CommMetrics::new(nproc, sp.comms.len()),
+        obs: obs.as_deref_mut(),
     };
+    let mut err = None;
     for ev in events {
-        worker.step(ev).map_err(|e| format!("proc {}: {}", pid, e))?;
+        if let Err(e) = worker.step(ev) {
+            err = Some(format!("proc {}: {}", pid, e));
+            break;
+        }
     }
     let stats = worker.stats;
     let mut metrics = worker.metrics;
-    transport
-        .finish()
-        .map_err(|e| format!("proc {}: teardown: {}", pid, e))?;
+    if err.is_none() {
+        if let Err(e) = transport.finish() {
+            err = Some(format!("proc {}: teardown: {}", pid, e));
+        }
+    }
+    if let Some(o) = obs {
+        o.absorb(transport.take_fault_events());
+    }
+    if let Some(e) = err {
+        return Err(e);
+    }
     metrics.saw_in_flight(transport.peak_in_flight());
     Ok((stats, metrics))
 }
@@ -93,21 +125,40 @@ pub fn replay(
     trace: &Trace,
     init: impl Fn(&mut Memory) + Sync,
 ) -> Result<Replayed, String> {
+    replay_traced(sp, trace, init, false)
+}
+
+/// [`replay`] with an optional merged observability trace of every rank's
+/// wire traffic (`want_obs = true`).
+pub fn replay_traced(
+    sp: &SpmdProgram,
+    trace: &Trace,
+    init: impl Fn(&mut Memory) + Sync,
+    want_obs: bool,
+) -> Result<Replayed, String> {
     let nproc = trace.len();
     let transports = channel_group(nproc);
     let program = &sp.program;
     let total: Mutex<(ReplayStats, CommMetrics)> =
         Mutex::new((ReplayStats::default(), CommMetrics::new(nproc, sp.comms.len())));
+    let timelines: Mutex<Vec<(usize, Vec<hpf_obs::TraceEvent>)>> = Mutex::new(Vec::new());
     let results: Vec<Result<Memory, String>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nproc);
         for (pid, mut transport) in transports.into_iter().enumerate() {
             let events = &trace[pid];
             let init = &init;
             let total = &total;
+            let timelines = &timelines;
             handles.push(scope.spawn(move || {
                 let mut mem = Memory::zeroed(program);
                 init(&mut mem);
-                let (s, m) = replay_rank(sp, events, &mut mem, &mut transport)?;
+                let mut obs = want_obs.then(|| BufTracer::for_rank(pid));
+                let res =
+                    replay_rank_traced(sp, events, &mut mem, &mut transport, obs.as_mut());
+                if let Some(o) = obs {
+                    timelines.lock().push((pid, o.into_events()));
+                }
+                let (s, m) = res?;
                 let mut t = total.lock();
                 t.0.messages_sent += s.messages_sent;
                 t.0.events += s.events;
@@ -118,6 +169,7 @@ pub fn replay(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
+    let obs = want_obs.then(|| hpf_obs::Trace::from_ranks(timelines.into_inner()));
     let mut mems = Vec::with_capacity(nproc);
     for r in results {
         mems.push(r?);
@@ -127,6 +179,7 @@ pub fn replay(
         mems,
         stats,
         metrics,
+        obs,
     })
 }
 
@@ -149,9 +202,46 @@ struct RankWorker<'a, T: Transport> {
     last_vec: Option<VecMemo<'a>>,
     stats: ReplayStats,
     metrics: CommMetrics,
+    /// Observability timeline of this rank (owned by the caller).
+    obs: Option<&'a mut BufTracer>,
 }
 
 impl<'a, T: Transport> RankWorker<'a, T> {
+    /// Record one comm event on this rank's timeline. Sends carry the
+    /// link's wire sequence number (socket backend); receive-side numbers
+    /// would race the reader thread, so they stay `None`.
+    fn obs_comm(
+        &mut self,
+        kind: CommKind,
+        (from, to): (usize, usize),
+        op: Option<usize>,
+        pattern: &str,
+        elems: u64,
+        seq: Option<u64>,
+    ) {
+        let Some(o) = self.obs.as_deref_mut() else {
+            return;
+        };
+        let (level, stmt_level) = match op {
+            Some(i) => {
+                let c = &self.sp.comms[i];
+                (c.level, c.stmt_level)
+            }
+            None => (0, 0),
+        };
+        o.push(Body::Comm {
+            kind,
+            from,
+            to,
+            op,
+            pattern: pattern.to_string(),
+            level,
+            stmt_level,
+            place: hpf_comm::placement_tag(level, stmt_level),
+            elems,
+            seq,
+        });
+    }
     /// Send one wire message.
     fn send_msg(&mut self, to: usize, msg: &WireMsg) -> Result<(), String> {
         self.transport.send(to, msg).map_err(|e| e.to_string())?;
@@ -190,11 +280,14 @@ impl<'a, T: Transport> RankWorker<'a, T> {
                 // operation; count them under the generic element pattern.
                 self.metrics
                     .note_message(crate::metrics::ELEMENT, None, self.pid, *to, bytes);
+                let seq = self.transport.link_seq(*to);
+                self.obs_comm(CommKind::Send, (self.pid, *to), None, crate::metrics::ELEMENT, 1, seq);
             }
             Event::Recv { from, slot } => {
                 let v = self
                     .recv_one(*from)
                     .map_err(|e| format!("element recv from {}: {}", from, e))?;
+                self.obs_comm(CommKind::Recv, (*from, self.pid), None, crate::metrics::ELEMENT, 1, None);
                 self.last_vec = None;
                 self.store_slot(*slot, v).map_err(|e| e.to_string())?;
             }
@@ -219,6 +312,8 @@ impl<'a, T: Transport> RankWorker<'a, T> {
                 }
                 self.send_msg(*to, &WireMsg::Many(vals))
                     .map_err(|e| format!("section send (op {}) to {}: {}", op, to, e))?;
+                let seq = self.transport.link_seq(*to);
+                self.obs_comm(CommKind::SendVec, (self.pid, *to), Some(*op), pattern, slots.len() as u64, seq);
             }
             Event::RecvVec { from, op, slots } => {
                 let vals = match self
@@ -237,6 +332,8 @@ impl<'a, T: Transport> RankWorker<'a, T> {
                         slots.len()
                     ));
                 }
+                let pattern = self.sp.comms[*op].pattern.name();
+                self.obs_comm(CommKind::RecvVec, (*from, self.pid), Some(*op), pattern, slots.len() as u64, None);
                 self.last_vec = None;
                 for (&s, &v) in slots.iter().zip(vals.iter()) {
                     self.store_slot(s, v).map_err(|e| e.to_string())?;
@@ -277,11 +374,13 @@ impl<'a, T: Transport> RankWorker<'a, T> {
                 let acc = self
                     .recv_one(*from)
                     .map_err(|e| format!("reduction partial from {}: {}", from, e))?;
+                self.obs_comm(CommKind::Reduce, (*from, self.pid), None, crate::metrics::REDUCE, 1, None);
                 let loc = if *has_loc {
-                    Some(
-                        self.recv_one(*from)
-                            .map_err(|e| format!("reduction location from {}: {}", from, e))?,
-                    )
+                    let l = self
+                        .recv_one(*from)
+                        .map_err(|e| format!("reduction location from {}: {}", from, e))?;
+                    self.obs_comm(CommKind::Reduce, (*from, self.pid), None, crate::metrics::REDUCE, 1, None);
+                    Some(l)
                 } else {
                     None
                 };
@@ -492,13 +591,24 @@ pub fn validate_replay_opts(
     init: impl Fn(&mut Memory) + Sync,
     vectorize: bool,
 ) -> Result<Replayed, String> {
+    validate_replay_traced(sp, init, vectorize, false)
+}
+
+/// [`validate_replay_opts`] with an optional merged observability trace of
+/// the threaded replay (`want_obs = true` fills [`Replayed::obs`]).
+pub fn validate_replay_traced(
+    sp: &SpmdProgram,
+    init: impl Fn(&mut Memory) + Sync,
+    vectorize: bool,
+    want_obs: bool,
+) -> Result<Replayed, String> {
     let mut exec = SpmdExec::new(sp, &init).with_trace();
     if !vectorize {
         exec = exec.without_vectorization();
     }
     exec.run().map_err(|e| format!("reference run failed: {}", e))?;
     let trace = exec.trace.take().expect("trace recorded");
-    let replayed = replay(sp, &trace, &init)?;
+    let replayed = replay_traced(sp, &trace, &init, want_obs)?;
     check_owner_slots(sp, &replayed.mems, &exec.mems)
         .map_err(|e| format!("threads vs reference: {}", e))?;
     Ok(replayed)

@@ -26,16 +26,90 @@ for bin in table1 table2 table3; do
 done
 
 echo "==> socket backend smoke (TOMCATV small, 4 worker processes)"
-out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --backend socket)
+# Capture stderr too: the networker children inherit the driver's stderr,
+# and the driver folds their exit statuses into its own ("worker N exited
+# with ..."), so a failing child must fail this stage with its diagnostics
+# visible — not just whatever the driver printed on stdout.
+set +e
+out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --backend socket 2>&1)
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: socket smoke exited $status (driver or networker worker failure)" >&2
+    echo "$out" >&2
+    exit "$status"
+fi
 echo "$out" | grep -q 'backend socket: replay on 4 worker processes matched' || {
     echo "FAIL: socket backend replay did not validate" >&2
     echo "$out" >&2
     exit 1
 }
-echo "$out" | grep -q '^cross-check: observed' || {
+echo "$out" | grep -q 'cross-check: observed' || {
     echo "FAIL: socket backend run produced no cost-model cross-check" >&2
     echo "$out" >&2
     exit 1
 }
 
-echo "OK: build, tests, lints, bench output and socket smoke all clean"
+echo "==> trace smoke (TOMCATV small, socket backend, --trace)"
+tracefile=$(mktemp -t phpfc-trace.XXXXXX)
+trap 'rm -f "$tracefile"' EXIT
+set +e
+out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --backend socket --trace "$tracefile" 2>&1)
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: traced socket run exited $status" >&2
+    echo "$out" >&2
+    exit "$status"
+fi
+echo "$out" | grep -q 'comm counts match wire metrics' || {
+    echo "FAIL: traced run did not self-check its comm counts against the metrics" >&2
+    echo "$out" >&2
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tracefile" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "trace must be a non-empty JSON array"
+begins = ends = comms = 0
+span_names = []
+for e in events:
+    ph = e["ph"]
+    assert ph in ("M", "B", "E", "i"), f"unknown phase type {ph!r}"
+    assert isinstance(e["pid"], int), "every event carries a pid"
+    if ph == "M":
+        assert e["name"] == "process_name", e
+        continue
+    assert isinstance(e["ts"], int), "timed events carry integer microseconds"
+    if ph == "B":
+        begins += 1
+        span_names.append(e["name"])
+        assert e["cat"] == "phase", e
+    elif ph == "E":
+        ends += 1
+    else:
+        assert e["cat"] in ("comm", "fault"), e
+        if e["cat"] == "comm":
+            comms += 1
+            args = e["args"]
+            for key in ("pattern", "place", "elems"):
+                assert key in args, f"comm event missing {key}: {e}"
+assert begins == ends, f"unbalanced spans: {begins} begins, {ends} ends"
+for phase in ("parse", "ssa", "mapping", "privatization", "lower", "replay"):
+    assert phase in span_names, f"missing pipeline span {phase!r}: {span_names}"
+assert comms > 0, "trace carries no communication events"
+print(f"trace schema OK: {begins} spans, {comms} comm events")
+EOF
+else
+    # Minimal structural checks without python3.
+    head -c 1 "$tracefile" | grep -q '\[' || { echo "FAIL: trace is not a JSON array" >&2; exit 1; }
+    for needle in '"name":"parse"' '"name":"replay"' '"cat":"comm"'; do
+        grep -q "$needle" "$tracefile" || {
+            echo "FAIL: trace JSON lacks $needle" >&2
+            exit 1
+        }
+    done
+fi
+
+echo "OK: build, tests, lints, bench output, socket smoke and trace smoke all clean"

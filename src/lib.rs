@@ -48,6 +48,7 @@
 //! | [`spmd`] | `hpf-spmd` | guards, lowering, reference executor, threaded runtime, cost simulator |
 //! | [`compile`] | `hpf-compile` | pipeline driver and the paper's compiler versions |
 //! | [`kernels`] | `hpf-kernels` | TOMCATV, DGEFA, APPSP with sequential references |
+//! | [`obs`] | `hpf-obs` | span/event tracing: pipeline phases, per-rank comm timelines, exporters |
 
 pub use hpf_analysis as analysis;
 pub use hpf_comm as comm;
@@ -55,5 +56,6 @@ pub use hpf_compile as compile;
 pub use hpf_dist as dist;
 pub use hpf_ir as ir;
 pub use hpf_kernels as kernels;
+pub use hpf_obs as obs;
 pub use hpf_spmd as spmd;
 pub use phpf_core as core;

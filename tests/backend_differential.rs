@@ -8,7 +8,10 @@
 use phpf::compile::netrun::{self, NetJob, NetRunConfig};
 use phpf::compile::Version;
 use phpf::kernels::{appsp, dgefa, tomcatv};
-use phpf::spmd::{check_owner_slots, validate_replay_opts, CommMetrics, Replayed};
+use phpf::obs::Trace;
+use phpf::spmd::{
+    check_owner_slots, validate_replay_opts, validate_replay_traced, CommMetrics, Replayed,
+};
 
 /// Run one kernel on both backends with identical deterministic fills and
 /// assert traffic + memory equivalence.
@@ -110,6 +113,114 @@ fn appsp_thread_vs_socket_vectorized() {
 #[test]
 fn appsp_thread_vs_socket_per_element() {
     differential("APPSP", appsp::source_1d(8, 4, 1), false);
+}
+
+// ---------------------------------------------------------------------
+// Golden traces: the observability layer must report the *same story*
+// every run and on both backends. The trace signature strips timestamps
+// and wire sequence numbers (the only legitimately nondeterministic
+// fields); everything else — event kinds, endpoints, ops, patterns, loop
+// levels, vectorization placements, element counts, per-stream order —
+// is golden.
+// ---------------------------------------------------------------------
+
+/// Replay `source` on the threaded backend with tracing and return the
+/// merged trace.
+fn thread_trace(source: &str) -> Trace {
+    let job = NetJob::new(source.to_string())
+        .with_default_fills()
+        .expect("kernel compiles");
+    let compiled = job.compile().unwrap();
+    let fills: Vec<(phpf::ir::VarId, Vec<f64>)> = job
+        .fills
+        .iter()
+        .map(|(n, d)| (compiled.spmd.program.vars.lookup(n).unwrap(), d.clone()))
+        .collect();
+    let r = validate_replay_traced(
+        &compiled.spmd,
+        move |m| {
+            for (v, data) in &fills {
+                m.fill_real(*v, data);
+            }
+        },
+        true,
+        true,
+    )
+    .expect("thread replay");
+    r.obs.expect("trace requested")
+}
+
+/// Replay `source` on the socket backend with tracing and return the
+/// merged trace (driver pipeline spans + per-rank timelines).
+fn socket_trace(source: &str) -> Trace {
+    let mut job = NetJob::new(source.to_string());
+    job.trace = true;
+    let job = job.with_default_fills().expect("kernel compiles");
+    let r = netrun::socket_validate_replay(&job, &NetRunConfig::default())
+        .expect("socket replay");
+    r.obs.expect("trace requested")
+}
+
+/// One kernel's golden-trace contract: stable across runs, well nested,
+/// and identical between backends rank by rank.
+fn golden_trace(name: &str, source: &str) {
+    // Run-to-run stability on each backend: the canonical merge order is
+    // per-stream recording order, so the full signature is deterministic.
+    let t1 = thread_trace(source);
+    let t2 = thread_trace(source);
+    assert_eq!(
+        t1.signature(),
+        t2.signature(),
+        "{name}: thread trace differs between runs"
+    );
+    let s1 = socket_trace(source);
+    let s2 = socket_trace(source);
+    assert_eq!(
+        s1.signature(),
+        s2.signature(),
+        "{name}: socket trace differs between runs"
+    );
+
+    // Spans strictly nest on every stream.
+    t1.check_nesting().unwrap_or_else(|e| panic!("{name}: thread trace nesting: {e}"));
+    s1.check_nesting().unwrap_or_else(|e| panic!("{name}: socket trace nesting: {e}"));
+
+    // The socket driver records the full pipeline phase sequence plus the
+    // reference execution and the replay window, in order.
+    let names = s1.span_names();
+    let expected = ["parse", "ssa", "mapping", "privatization", "lower", "reference-exec", "replay"];
+    assert_eq!(names, expected, "{name}: socket pipeline span sequence");
+
+    // Backend equivalence modulo rank interleaving: each rank tells an
+    // identical comm story on threads and on sockets.
+    assert_eq!(t1.nranks(), s1.nranks(), "{name}: rank counts diverge");
+    for r in 0..t1.nranks() {
+        assert_eq!(
+            t1.comm_signature(r),
+            s1.comm_signature(r),
+            "{name}: rank {r} comm timeline diverges between backends"
+        );
+    }
+
+    // No faults on a clean run, and some communication actually happened.
+    assert!(t1.fault_names().is_empty(), "{name}: unexpected thread faults");
+    assert!(s1.fault_names().is_empty(), "{name}: unexpected socket faults");
+    assert!(t1.comm_counts().total_sends() > 0, "{name}: empty comm timeline");
+}
+
+#[test]
+fn golden_trace_tomcatv_small() {
+    golden_trace("TOMCATV", include_str!("../examples/hpf/tomcatv_small.hpf"));
+}
+
+#[test]
+fn golden_trace_dgefa_small() {
+    golden_trace("DGEFA", include_str!("../examples/hpf/dgefa_small.hpf"));
+}
+
+#[test]
+fn golden_trace_appsp_small() {
+    golden_trace("APPSP", include_str!("../examples/hpf/appsp_small.hpf"));
 }
 
 /// Satellite check for the Arc-shared payload refactor: the vectorized

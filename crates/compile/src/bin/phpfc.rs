@@ -20,6 +20,23 @@
 //!                                      chrome://tracing JSON to <path>
 //!                                      and print the compact text
 //!                                      timeline; implies --observe
+//!                  [--fault-plan <p>]  socket backend only: inject the
+//!                                      given deterministic faults (e.g.
+//!                                      "corrupt:0>1@2,kill:1@8" or
+//!                                      "seed:42") and self-heal through
+//!                                      retransmission, checkpointed gang
+//!                                      respawn, and — when the budget is
+//!                                      exhausted — thread-backend
+//!                                      fallback; also read from the
+//!                                      PHPF_FAULT_PLAN environment
+//!                                      variable
+//!                  [--net-retries <n>] socket backend recovery budget
+//!                                      (link retransmission attempts and
+//!                                      default respawn budget)
+//!                  [--net-io-deadline-ms <ms>]
+//!                  [--net-connect-deadline-ms <ms>]
+//!                                      socket backend I/O and connect
+//!                                      deadlines
 //!                  [--pretty]          echo the parsed program back
 //! ```
 //!
@@ -39,7 +56,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: phpfc <file.hpf> [--version <v>] [--procs P1[,P2,..]] \
          [--combine] [--auto-priv] [--estimate] [--observe] \
-         [--backend thread|socket] [--trace <path>] [--pretty]"
+         [--backend thread|socket] [--trace <path>] [--fault-plan <plan>] \
+         [--net-retries <n>] [--net-io-deadline-ms <ms>] \
+         [--net-connect-deadline-ms <ms>] [--pretty]"
     );
     ExitCode::from(2)
 }
@@ -56,6 +75,10 @@ fn main() -> ExitCode {
     let mut pretty = false;
     let mut backend: Option<Backend> = None;
     let mut trace_path: Option<String> = None;
+    let mut fault_plan_src: Option<String> = std::env::var("PHPF_FAULT_PLAN").ok();
+    let mut net_retries: Option<u32> = None;
+    let mut net_io_deadline_ms: Option<u64> = None;
+    let mut net_connect_deadline_ms: Option<u64> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,6 +123,40 @@ fn main() -> ExitCode {
                 // A trace is only interesting for an actual run.
                 observe = true;
             }
+            "--fault-plan" => {
+                let Some(p) = args.next() else { return usage() };
+                fault_plan_src = Some(p);
+            }
+            "--net-retries" => {
+                let Some(v) = args.next() else { return usage() };
+                match v.parse::<u32>() {
+                    Ok(n) => net_retries = Some(n),
+                    Err(e) => {
+                        eprintln!("bad --net-retries '{}': {}", v, e);
+                        return usage();
+                    }
+                }
+            }
+            "--net-io-deadline-ms" => {
+                let Some(v) = args.next() else { return usage() };
+                match v.parse::<u64>() {
+                    Ok(ms) if ms > 0 => net_io_deadline_ms = Some(ms),
+                    _ => {
+                        eprintln!("bad --net-io-deadline-ms '{}'", v);
+                        return usage();
+                    }
+                }
+            }
+            "--net-connect-deadline-ms" => {
+                let Some(v) = args.next() else { return usage() };
+                match v.parse::<u64>() {
+                    Ok(ms) if ms > 0 => net_connect_deadline_ms = Some(ms),
+                    _ => {
+                        eprintln!("bad --net-connect-deadline-ms '{}'", v);
+                        return usage();
+                    }
+                }
+            }
             "--combine" => combine = true,
             "--auto-priv" => auto_priv = true,
             "--estimate" => estimate = true,
@@ -116,6 +173,17 @@ fn main() -> ExitCode {
         }
     }
     let Some(file) = file else { return usage() };
+    let fault_plan = match fault_plan_src.as_deref().map(str::trim) {
+        None | Some("") => None,
+        Some(s) => match netrun::FaultPlan::parse(s) {
+            Ok(p) if p.is_empty() => None,
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("phpfc: bad fault plan '{}': {}", s, e);
+                return usage();
+            }
+        },
+    };
     let src = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
@@ -192,6 +260,7 @@ fn main() -> ExitCode {
         // Reference executor, or a real message-passing replay validated
         // against it.
         let mut trace_out: Option<hpf_obs::Trace> = None;
+        let mut degraded = false;
         let observed = match backend {
             None if trace_path.is_some() => {
                 let mut exec = hpf_spmd::SpmdExec::new(&compiled.spmd, init).with_obs();
@@ -217,6 +286,11 @@ fn main() -> ExitCode {
                     compiled.spmd.maps.grid.total(),
                     r.stats.messages_sent
                 );
+                println!(
+                    "BENCH_JSON {{\"table\":\"replay\",\"backend\":\"thread\",\
+                     \"degraded\":false,\"metrics\":{}}}",
+                    r.metrics.to_json()
+                );
                 trace_out = r.obs;
                 r.metrics
             }),
@@ -231,17 +305,42 @@ fn main() -> ExitCode {
                     trace: trace_path.is_some(),
                     fills: Vec::new(),
                 };
+                let mut ncfg = netrun::NetRunConfig::default();
+                if let Some(n) = net_retries {
+                    ncfg.retries = n;
+                }
+                if let Some(ms) = net_io_deadline_ms {
+                    ncfg.io_deadline = std::time::Duration::from_millis(ms);
+                }
+                if let Some(ms) = net_connect_deadline_ms {
+                    ncfg.connect_deadline = std::time::Duration::from_millis(ms);
+                }
+                ncfg.fault_plan = fault_plan.clone();
                 job.with_default_fills()
-                    .and_then(|job| {
-                        netrun::socket_validate_replay(&job, &netrun::NetRunConfig::default())
-                    })
+                    .and_then(|job| netrun::socket_validate_replay(&job, &ncfg))
                     .map(|r| {
+                        if r.degraded {
+                            println!(
+                                "backend socket: DEGRADED — recovery budget exhausted; \
+                                 result validated on the in-process thread fallback \
+                                 ({} wire messages)",
+                                r.stats.messages_sent
+                            );
+                        } else {
+                            println!(
+                                "backend socket: replay on {} worker processes matched the \
+                                 reference executor ({} wire messages)",
+                                compiled.spmd.maps.grid.total(),
+                                r.stats.messages_sent
+                            );
+                        }
                         println!(
-                            "backend socket: replay on {} worker processes matched the \
-                             reference executor ({} wire messages)",
-                            compiled.spmd.maps.grid.total(),
-                            r.stats.messages_sent
+                            "BENCH_JSON {{\"table\":\"replay\",\"backend\":\"socket\",\
+                             \"degraded\":{},\"metrics\":{}}}",
+                            r.degraded,
+                            r.metrics.to_json()
                         );
+                        degraded = r.degraded;
                         trace_out = r.obs;
                         r.metrics
                     })
@@ -281,7 +380,12 @@ fn main() -> ExitCode {
                                  metrics {}s/{}r",
                                 r, s, v, p.sent_messages, p.recv_messages
                             );
-                            return ExitCode::FAILURE;
+                            // Fault-plan runs keep salvaged evidence from
+                            // rolled-back generations in the trace; only a
+                            // fault-free run treats a mismatch as fatal.
+                            if fault_plan.is_none() && !degraded {
+                                return ExitCode::FAILURE;
+                            }
                         }
                     }
                     if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {

@@ -29,14 +29,23 @@ use crate::{compile_source, Compiled, Options, Version};
 use hpf_ir::interp::Memory;
 use hpf_ir::{Program, ScalarTy};
 use hpf_net::frame::{Dec, Enc, FrameKind, FrameReader, FrameWriter, ReadStep};
-use hpf_net::socket::{connect_backoff, Addr, AddrKind, NetListener, SocketConfig, SocketTransport};
-use hpf_net::NetError;
-use hpf_obs::{Body, CommKind, TraceEvent, Tracer};
-use hpf_spmd::metrics::{self, CommMetrics};
-use hpf_spmd::{check_owner_slots, replay_rank_traced, Replayed, ReplayStats, SpmdExec};
+use hpf_net::socket::{
+    connect_backoff, Addr, AddrKind, NetListener, NetStream, SocketConfig, SocketTransport,
+};
+use hpf_net::{FaultInjector, NetError, RetryPolicy, Transport};
+use hpf_obs::{Body, BufTracer, CommKind, TraceEvent, Tracer};
+use hpf_spmd::metrics::{self, CommMetrics, RecoveryCounters};
+use hpf_spmd::{
+    check_owner_slots, replay_rank_segment, replay_rank_traced, validate_replay_traced, Replayed,
+    ReplayStats, SpmdExec,
+};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+pub use hpf_net::FaultPlan;
 
 /// Environment variable naming the parent's rendezvous address for a
 /// spawned worker.
@@ -126,8 +135,8 @@ impl NetJob {
     }
 }
 
-/// Deadlines and address family for a multi-process run.
-#[derive(Debug, Clone, Copy)]
+/// Deadlines, address family and recovery knobs for a multi-process run.
+#[derive(Debug, Clone)]
 pub struct NetRunConfig {
     pub addr_kind: AddrKind,
     /// Per-link send/recv deadline inside the mesh.
@@ -138,7 +147,24 @@ pub struct NetRunConfig {
     pub result_deadline: Duration,
     /// Fault injection: this rank aborts its process right after the mesh
     /// handshake, so its peers exercise the dead-peer detection path.
+    /// Deliberately *not* rescued by supervision: it exists to prove the
+    /// unsupervised failure path stays loud.
     pub fail_rank: Option<usize>,
+    /// Link retransmission budget (NACK-driven resends per link). `0`
+    /// derives a default: 3 when a fault plan is active, else off.
+    pub retries: u32,
+    /// Deterministic fault plan (corrupt/drop/kill actions) injected into
+    /// the workers. A non-empty plan switches the driver into supervised
+    /// mode: lock-step epochs, checkpoints, heartbeats and gang respawn.
+    pub fault_plan: Option<FaultPlan>,
+    /// How often each worker's heartbeat thread beats on its control link.
+    pub heartbeat_interval: Duration,
+    /// Parent-side silence budget per worker before it is declared dead.
+    pub heartbeat_deadline: Duration,
+    /// How many failed generations the supervisor may respawn before it
+    /// degrades to the in-process thread backend. `None` derives the
+    /// budget from the effective retry count.
+    pub respawn_budget: Option<u32>,
 }
 
 impl Default for NetRunConfig {
@@ -149,13 +175,72 @@ impl Default for NetRunConfig {
             connect_deadline: Duration::from_secs(10),
             result_deadline: Duration::from_secs(60),
             fail_rank: None,
+            retries: 0,
+            fault_plan: None,
+            heartbeat_interval: Duration::from_millis(250),
+            heartbeat_deadline: Duration::from_secs(5),
+            respawn_budget: None,
+        }
+    }
+}
+
+impl NetRunConfig {
+    fn plan(&self) -> FaultPlan {
+        self.fault_plan.clone().unwrap_or_default()
+    }
+
+    /// Supervised mode: lock-step epoch checkpoints, worker heartbeats and
+    /// gang respawn on failure. Engaged by any recovery knob; the default
+    /// configuration keeps the original fire-and-collect driver
+    /// byte-for-byte.
+    pub fn supervised(&self) -> bool {
+        self.retries > 0 || !self.plan().is_empty() || self.respawn_budget.is_some()
+    }
+
+    /// Link retransmission budget actually shipped to the workers: an
+    /// explicit `retries`, or 3 when a fault plan is active, else 0.
+    pub fn effective_retries(&self) -> u32 {
+        if self.retries > 0 {
+            self.retries
+        } else if !self.plan().is_empty() {
+            3
+        } else {
+            0
         }
     }
 }
 
 const NO_RANK: u32 = u32::MAX;
 
-fn encode_job(job: &NetJob, cfg: &NetRunConfig, nproc: usize, addrs: &[Addr]) -> Vec<u8> {
+/// Per-rank supervision extras riding on the job blob: the (resolved,
+/// possibly respawn-pruned) fault plan, the retransmission budget, the
+/// heartbeat cadence, and — for a respawned generation — how many epochs
+/// are already committed plus this rank's checkpointed memory.
+struct JobExtras<'a> {
+    plan: &'a FaultPlan,
+    retries: u32,
+    supervised: bool,
+    resume: Option<(u32, &'a [u8])>,
+}
+
+impl<'a> JobExtras<'a> {
+    fn unsupervised(empty: &'a FaultPlan) -> JobExtras<'a> {
+        JobExtras {
+            plan: empty,
+            retries: 0,
+            supervised: false,
+            resume: None,
+        }
+    }
+}
+
+fn encode_job(
+    job: &NetJob,
+    cfg: &NetRunConfig,
+    nproc: usize,
+    addrs: &[Addr],
+    extras: &JobExtras,
+) -> Vec<u8> {
     let mut e = Enc::new();
     e.str(&job.source);
     e.str(job.version.flag());
@@ -189,6 +274,18 @@ fn encode_job(job: &NetJob, cfg: &NetRunConfig, nproc: usize, addrs: &[Addr]) ->
     for a in addrs {
         e.str(&a.to_string());
     }
+    e.str(&extras.plan.to_string());
+    e.u32(extras.retries);
+    e.u64(cfg.heartbeat_interval.as_millis() as u64);
+    e.boolean(extras.supervised);
+    match extras.resume {
+        Some((epochs, blob)) => {
+            e.u8(1);
+            e.u32(epochs);
+            e.bytes(blob);
+        }
+        None => e.u8(0),
+    }
     e.buf
 }
 
@@ -199,6 +296,13 @@ struct WireJob {
     connect_deadline: Duration,
     nproc: usize,
     addrs: Vec<Addr>,
+    plan: FaultPlan,
+    retries: u32,
+    heartbeat_interval: Duration,
+    supervised: bool,
+    /// Respawn resume state: committed epoch count + this rank's
+    /// checkpointed memory (an [`encode_memory`] blob).
+    resume: Option<(u32, Vec<u8>)>,
 }
 
 fn decode_job(payload: &[u8]) -> Result<WireJob, String> {
@@ -246,6 +350,18 @@ fn decode_job(payload: &[u8]) -> Result<WireJob, String> {
         let s = d.str().map_err(|e| e.to_string())?;
         addrs.push(Addr::parse(&s).map_err(|e| e.to_string())?);
     }
+    let plan = FaultPlan::parse(&d.str().map_err(|e| e.to_string())?)?;
+    let retries = d.u32().map_err(|e| e.to_string())?;
+    let heartbeat_interval = Duration::from_millis(d.u64().map_err(|e| e.to_string())?);
+    let supervised = d.boolean().map_err(|e| e.to_string())?;
+    let resume = match d.u8().map_err(|e| e.to_string())? {
+        0 => None,
+        _ => {
+            let epochs = d.u32().map_err(|e| e.to_string())?;
+            let blob = d.bytes().map_err(|e| e.to_string())?;
+            Some((epochs, blob))
+        }
+    };
     d.done().map_err(|e| e.to_string())?;
     Ok(WireJob {
         job: NetJob {
@@ -263,6 +379,11 @@ fn decode_job(payload: &[u8]) -> Result<WireJob, String> {
         connect_deadline,
         nproc,
         addrs,
+        plan,
+        retries,
+        heartbeat_interval,
+        supervised,
+        resume,
     })
 }
 
@@ -307,6 +428,10 @@ fn encode_metrics(e: &mut Enc, m: &CommMetrics) {
     }
     e.u64(m.untracked_messages);
     e.u64(m.max_in_flight);
+    e.u64(m.recovery.retransmits);
+    e.u64(m.recovery.heartbeat_misses);
+    e.u64(m.recovery.respawns);
+    e.u64(m.recovery.fallbacks);
 }
 
 fn decode_metrics(d: &mut Dec) -> Result<CommMetrics, String> {
@@ -339,6 +464,10 @@ fn decode_metrics(d: &mut Dec) -> Result<CommMetrics, String> {
     }
     m.untracked_messages = d.u64().map_err(|e| e.to_string())?;
     m.max_in_flight = d.u64().map_err(|e| e.to_string())?;
+    m.recovery.retransmits = d.u64().map_err(|e| e.to_string())?;
+    m.recovery.heartbeat_misses = d.u64().map_err(|e| e.to_string())?;
+    m.recovery.respawns = d.u64().map_err(|e| e.to_string())?;
+    m.recovery.fallbacks = d.u64().map_err(|e| e.to_string())?;
     Ok(m)
 }
 
@@ -731,9 +860,37 @@ fn read_blob(reader: &mut FrameReader<hpf_net::socket::NetStream>, what: &str) -
     }
 }
 
+/// Spawn one `networker` child per rank, pointed at the parent's
+/// rendezvous address.
+fn spawn_workers(
+    bin: &PathBuf,
+    parent_addr: &Addr,
+    nproc: usize,
+) -> Result<Vec<(usize, Child)>, String> {
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(nproc);
+    for rank in 0..nproc {
+        let child = Command::new(bin)
+            .env(ENV_PARENT, parent_addr.to_string())
+            .env(ENV_RANK, rank.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning worker {}: {}", rank, e))?;
+        children.push((rank, child));
+    }
+    Ok(children)
+}
+
 /// Run the job's replay with one OS process per virtual processor and
 /// validate it exactly like the threaded `validate_replay`: owner slots
 /// bit-for-bit against the reference executor, metrics merged over ranks.
+///
+/// With any recovery knob set ([`NetRunConfig::supervised`]) the driver
+/// runs the self-healing protocol instead: injected link faults heal via
+/// retransmission, dead workers are respawned from the last epoch
+/// checkpoint, and when the respawn budget is exhausted the whole run
+/// degrades to the in-process thread backend ([`Replayed::degraded`]).
 pub fn socket_validate_replay(job: &NetJob, cfg: &NetRunConfig) -> Result<Replayed, String> {
     // Pipeline spans land on the parent's timeline; workers only
     // contribute per-rank comm/fault events.
@@ -759,21 +916,14 @@ pub fn socket_validate_replay(job: &NetJob, cfg: &NetRunConfig) -> Result<Replay
         pipe.begin("replay");
     }
 
+    if cfg.supervised() {
+        return supervised_validate_replay(job, cfg, &compiled, nproc, &init, &exec, pipe);
+    }
+
     let listener = NetListener::bind(cfg.addr_kind, "netrun").map_err(|e| e.to_string())?;
     let parent_addr = listener.addr().map_err(|e| e.to_string())?;
     let bin = worker_bin()?;
-    let mut children: Vec<(usize, Child)> = Vec::with_capacity(nproc);
-    for rank in 0..nproc {
-        let child = Command::new(&bin)
-            .env(ENV_PARENT, parent_addr.to_string())
-            .env(ENV_RANK, rank.to_string())
-            .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .map_err(|e| format!("spawning worker {}: {}", rank, e))?;
-        children.push((rank, child));
-    }
+    let mut children = spawn_workers(&bin, &parent_addr, nproc)?;
 
     let result = drive_workers(job, cfg, &compiled, nproc, &listener);
     let reap_errors = reap(&mut children, cfg.result_deadline);
@@ -803,6 +953,7 @@ pub fn socket_validate_replay(job: &NetJob, cfg: &NetRunConfig) -> Result<Replay
         stats,
         metrics,
         obs,
+        degraded: false,
     })
 }
 
@@ -813,14 +964,14 @@ type DriveOutput = (
     Vec<(usize, Vec<TraceEvent>)>,
 );
 
-fn drive_workers(
-    job: &NetJob,
+/// Rendezvous: accept one control connection per rank, each registering
+/// `(rank, data address)`. Returns the per-rank connections and mesh
+/// address map.
+fn rendezvous(
     cfg: &NetRunConfig,
-    compiled: &Compiled,
     nproc: usize,
     listener: &NetListener,
-) -> Result<DriveOutput, String> {
-    // Rendezvous: every worker registers (rank, data address).
+) -> Result<(Vec<Conn>, Vec<Addr>), String> {
     let mut conns: Vec<Option<Conn>> = (0..nproc).map(|_| None).collect();
     let mut addrs: Vec<Option<Addr>> = (0..nproc).map(|_| None).collect();
     for _ in 0..nproc {
@@ -849,12 +1000,25 @@ fn drive_workers(
         addrs[rank] = Some(Addr::parse(&addr_s).map_err(|e| e.to_string())?);
         conns[rank] = Some(Conn { reader, writer });
     }
-    let addrs: Vec<Addr> = addrs.into_iter().map(|a| a.unwrap()).collect();
+    Ok((
+        conns.into_iter().map(|c| c.unwrap()).collect(),
+        addrs.into_iter().map(|a| a.unwrap()).collect(),
+    ))
+}
+
+fn drive_workers(
+    job: &NetJob,
+    cfg: &NetRunConfig,
+    compiled: &Compiled,
+    nproc: usize,
+    listener: &NetListener,
+) -> Result<DriveOutput, String> {
+    let (mut conns, addrs) = rendezvous(cfg, nproc, listener)?;
 
     // Dispatch the job (with the address map) to every worker.
-    let job_blob = encode_job(job, cfg, nproc, &addrs);
+    let empty = FaultPlan::default();
+    let job_blob = encode_job(job, cfg, nproc, &addrs, &JobExtras::unsupervised(&empty));
     for (rank, conn) in conns.iter_mut().enumerate() {
-        let conn = conn.as_mut().unwrap();
         conn.writer
             .write(FrameKind::Blob, &job_blob)
             .map_err(|e| format!("dispatching job to worker {}: {}", rank, e))?;
@@ -868,7 +1032,6 @@ fn drive_workers(
     let mut rank_obs: Vec<(usize, Vec<TraceEvent>)> = Vec::new();
     let mut worker_errors = Vec::new();
     for (rank, conn) in conns.iter_mut().enumerate() {
-        let conn = conn.as_mut().unwrap();
         let payload = read_blob(&mut conn.reader, &format!("result from worker {}", rank))?;
         let (res, obs) = decode_result(&payload, program)?;
         match res {
@@ -904,6 +1067,579 @@ fn drive_workers(
     }
     let mems: Vec<Memory> = mems.into_iter().map(|m| m.unwrap()).collect();
     Ok((stats, metrics, mems, rank_obs))
+}
+
+// ---------------------------------------------------------------------------
+// Supervised mode: lock-step epochs, heartbeats, checkpoints, gang respawn.
+//
+// The parent runs the replay as a sequence of *epochs* (the executor's
+// loop-level barrier cuts, [`SpmdExec::epoch_cuts`]). After each epoch every
+// worker ships a status — its checkpointed memory plus any fault events its
+// transport healed — and waits for a `Proceed` directive. The parent commits
+// the checkpoint once all ranks report, so there is always a globally
+// consistent cut to restart from. When a worker dies (abrupt socket close,
+// error status, or missed heartbeats) the whole generation is torn down and
+// respawned from the last committed checkpoint: links are meshes of fresh
+// processes, so a gang restart needs no live re-rendezvous, and the pruned
+// fault plan ([`FaultPlan::for_respawn`]) guarantees the same fault never
+// fires twice. When the respawn budget runs dry the caller degrades to the
+// in-process thread backend.
+
+/// Control-frame tags on the worker → parent connection. Tags 0/1 are
+/// never sent (they keep the unsupervised single-blob protocol
+/// unambiguous).
+const TAG_STATUS: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_RESULT: u8 = 4;
+/// Parent → worker directive after a committed epoch.
+const DIRECTIVE_PROCEED: u8 = 1;
+
+fn memory_blob(program: &Program, mem: &Memory) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_memory(&mut e, program, mem);
+    e.buf
+}
+
+/// One worker's end-of-epoch report.
+struct StatusMsg {
+    epoch: u32,
+    /// Cumulative link retransmissions this process performed so far.
+    retransmits: u64,
+    /// Checkpointed memory on success, replay error otherwise.
+    body: Result<Memory, String>,
+    /// All fault events the worker accumulated so far (cumulative, so a
+    /// generation that dies later still leaves its healing on record).
+    faults: Vec<TraceEvent>,
+}
+
+fn decode_status(payload: &[u8], program: &Program) -> Result<StatusMsg, String> {
+    let mut d = Dec::new(payload);
+    let epoch = d.u32().map_err(|e| e.to_string())?;
+    let retransmits = d.u64().map_err(|e| e.to_string())?;
+    let body = match d.u8().map_err(|e| e.to_string())? {
+        0 => Err(d.str().map_err(|e| e.to_string())?),
+        _ => Ok(decode_memory(&mut d, program)?),
+    };
+    let faults = decode_obs_events(&mut d)?;
+    d.done().map_err(|e| e.to_string())?;
+    Ok(StatusMsg {
+        epoch,
+        retransmits,
+        body,
+        faults,
+    })
+}
+
+enum ParentMsg {
+    Heartbeat { rank: usize },
+    Status { rank: usize, payload: Vec<u8> },
+    Result { rank: usize, payload: Vec<u8> },
+    Gone { rank: usize, why: String },
+}
+
+/// Per-connection reader thread: turns control frames into [`ParentMsg`]s
+/// until the worker delivers its result or the link dies.
+fn control_reader(
+    mut reader: FrameReader<NetStream>,
+    rank: usize,
+    tx: mpsc::Sender<ParentMsg>,
+) {
+    loop {
+        let msg = match reader.read_step() {
+            Ok(ReadStep::Frame((FrameKind::Blob, payload))) => match payload.split_first() {
+                Some((&TAG_HEARTBEAT, _)) => ParentMsg::Heartbeat { rank },
+                Some((&TAG_STATUS, rest)) => ParentMsg::Status {
+                    rank,
+                    payload: rest.to_vec(),
+                },
+                Some((&TAG_RESULT, rest)) => {
+                    let _ = tx.send(ParentMsg::Result {
+                        rank,
+                        payload: rest.to_vec(),
+                    });
+                    return;
+                }
+                other => {
+                    let _ = tx.send(ParentMsg::Gone {
+                        rank,
+                        why: format!("unknown control tag {:?}", other.map(|(t, _)| *t)),
+                    });
+                    return;
+                }
+            },
+            Ok(ReadStep::Frame((kind, _))) => {
+                let _ = tx.send(ParentMsg::Gone {
+                    rank,
+                    why: format!("unexpected {:?} control frame", kind),
+                });
+                return;
+            }
+            Ok(ReadStep::Idle) => continue,
+            Ok(ReadStep::Eof) => {
+                let _ = tx.send(ParentMsg::Gone {
+                    rank,
+                    why: "control connection closed (worker died?)".into(),
+                });
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(ParentMsg::Gone {
+                    rank,
+                    why: e.to_string(),
+                });
+                return;
+            }
+        };
+        if tx.send(msg).is_err() {
+            return;
+        }
+    }
+}
+
+fn kill_generation(children: &mut [(usize, Child)]) {
+    for (_, child) in children.iter_mut() {
+        let _ = child.kill();
+    }
+    for (_, child) in children.iter_mut() {
+        let _ = child.wait();
+    }
+}
+
+/// Globally consistent restart state: how many epochs every rank has
+/// committed, and each rank's memory at that cut.
+struct Committed {
+    epoch: u32,
+    mems: Vec<Memory>,
+}
+
+enum GenOutcome {
+    /// Every rank delivered a successful result.
+    Finished(Vec<(RankResult, Vec<TraceEvent>)>),
+    /// At least one rank died or failed; the generation was torn down.
+    /// `None` ranks are setup failures not attributable to one worker.
+    Failed { dead: Vec<(Option<usize>, String)> },
+}
+
+/// Run one supervised generation: spawn all ranks, drive the lock-step
+/// epoch protocol, and either collect every result or tear the cohort
+/// down on the first failure. Salvages fault evidence (events and
+/// retransmission counts reported in statuses) from failed generations.
+#[allow(clippy::too_many_arguments)]
+fn run_generation(
+    job: &NetJob,
+    cfg: &NetRunConfig,
+    compiled: &Compiled,
+    nproc: usize,
+    listener: &NetListener,
+    plan: &FaultPlan,
+    committed: &mut Committed,
+    pipe: &mut BufTracer,
+    recovery: &mut RecoveryCounters,
+    salvaged: &mut [Vec<TraceEvent>],
+) -> Result<GenOutcome, String> {
+    let trace = job.trace;
+    let program = &compiled.spmd.program;
+    let bin = worker_bin()?;
+    let parent_addr = listener.addr().map_err(|e| e.to_string())?;
+    let mut children = spawn_workers(&bin, &parent_addr, nproc)?;
+
+    // Rendezvous + dispatch. Failures here doom the generation, not the
+    // run: they are charged to the respawn budget like any worker death.
+    let setup = rendezvous(cfg, nproc, listener).and_then(|(mut conns, addrs)| {
+        let retries = cfg.effective_retries();
+        for (rank, conn) in conns.iter_mut().enumerate() {
+            let resume_blob =
+                (committed.epoch > 0).then(|| memory_blob(program, &committed.mems[rank]));
+            let extras = JobExtras {
+                plan,
+                retries,
+                supervised: true,
+                resume: resume_blob.as_deref().map(|b| (committed.epoch, b)),
+            };
+            let blob = encode_job(job, cfg, nproc, &addrs, &extras);
+            conn.writer
+                .write(FrameKind::Blob, &blob)
+                .map_err(|e| format!("dispatching job to worker {}: {}", rank, e))?;
+        }
+        Ok(conns)
+    });
+    let conns = match setup {
+        Ok(c) => c,
+        Err(e) => {
+            kill_generation(&mut children);
+            return Ok(GenOutcome::Failed {
+                dead: vec![(None, e)],
+            });
+        }
+    };
+
+    let (tx, rx) = mpsc::channel::<ParentMsg>();
+    let mut writers: Vec<FrameWriter<NetStream>> = Vec::with_capacity(nproc);
+    for (rank, conn) in conns.into_iter().enumerate() {
+        let Conn { reader, writer } = conn;
+        writers.push(writer);
+        let tx = tx.clone();
+        std::thread::spawn(move || control_reader(reader, rank, tx));
+    }
+    drop(tx);
+
+    let mut last_heard: Vec<Instant> = vec![Instant::now(); nproc];
+    let mut statuses: Vec<Option<Memory>> = (0..nproc).map(|_| None).collect();
+    let mut results: Vec<Option<(RankResult, Vec<TraceEvent>)>> =
+        (0..nproc).map(|_| None).collect();
+    let mut prov_faults: Vec<Vec<TraceEvent>> = vec![Vec::new(); nproc];
+    let mut prov_retx: Vec<u64> = vec![0; nproc];
+    let mut failed: Vec<(Option<usize>, String)> = Vec::new();
+    // A rank is "accounted" once it delivered a result or joined `failed`.
+    let mut accounted: Vec<bool> = vec![false; nproc];
+    let mut expect_epoch = committed.epoch;
+    // Once a failure is seen, drain briefly: peers that error out on the
+    // dead rank's closed links deliver their error statuses (with the
+    // fault events they healed this epoch) before the teardown.
+    let mut drain_deadline: Option<Instant> = None;
+    let drain_grace = Duration::from_millis(1500);
+    let start_drain = |dl: &mut Option<Instant>| {
+        dl.get_or_insert_with(|| Instant::now() + drain_grace);
+    };
+
+    let outcome = loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(ParentMsg::Heartbeat { rank }) => last_heard[rank] = Instant::now(),
+            Ok(ParentMsg::Status { rank, payload }) => {
+                last_heard[rank] = Instant::now();
+                match decode_status(&payload, program) {
+                    Ok(st) => {
+                        prov_retx[rank] = st.retransmits;
+                        prov_faults[rank] = st.faults;
+                        match st.body {
+                            Ok(mem)
+                                if st.epoch == expect_epoch && drain_deadline.is_none() =>
+                            {
+                                statuses[rank] = Some(mem);
+                            }
+                            // A stale or raced status while draining only
+                            // contributes its salvage payload.
+                            Ok(_) => {}
+                            Err(msg) => {
+                                if !accounted[rank] {
+                                    accounted[rank] = true;
+                                    failed.push((
+                                        Some(rank),
+                                        format!("epoch {}: {}", st.epoch, msg),
+                                    ));
+                                }
+                                start_drain(&mut drain_deadline);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if !accounted[rank] {
+                            accounted[rank] = true;
+                            failed.push((Some(rank), format!("bad status: {}", e)));
+                        }
+                        start_drain(&mut drain_deadline);
+                    }
+                }
+            }
+            Ok(ParentMsg::Result { rank, payload }) => {
+                last_heard[rank] = Instant::now();
+                match decode_result(&payload, program) {
+                    Ok((Ok(res), obs)) => {
+                        accounted[rank] = true;
+                        results[rank] = Some((Ok(res), obs));
+                    }
+                    Ok((Err(msg), _)) => {
+                        if !accounted[rank] {
+                            accounted[rank] = true;
+                            failed.push((Some(rank), msg));
+                        }
+                        start_drain(&mut drain_deadline);
+                    }
+                    Err(e) => {
+                        if !accounted[rank] {
+                            accounted[rank] = true;
+                            failed.push((Some(rank), format!("bad result: {}", e)));
+                        }
+                        start_drain(&mut drain_deadline);
+                    }
+                }
+            }
+            Ok(ParentMsg::Gone { rank, why }) => {
+                if !accounted[rank] {
+                    accounted[rank] = true;
+                    failed.push((Some(rank), why));
+                    start_drain(&mut drain_deadline);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            // All reader threads exited; the state checks below decide.
+            Err(mpsc::RecvTimeoutError::Disconnected) => {}
+        }
+
+        // Deadline-based failure detection: a worker that stops
+        // heartbeating is dead to the supervisor even if its socket is
+        // still open (wedged process, livelocked replay).
+        for rank in 0..nproc {
+            if !accounted[rank] && last_heard[rank].elapsed() > cfg.heartbeat_deadline {
+                accounted[rank] = true;
+                recovery.heartbeat_misses += 1;
+                if trace {
+                    pipe.push(Body::Fault {
+                        name: "heartbeat-miss".into(),
+                        detail: format!(
+                            "rank {} silent for more than {:?}",
+                            rank, cfg.heartbeat_deadline
+                        ),
+                        peer: Some(rank),
+                        last_seq: None,
+                    });
+                }
+                failed.push((
+                    Some(rank),
+                    format!("no heartbeat within {:?}", cfg.heartbeat_deadline),
+                ));
+                start_drain(&mut drain_deadline);
+            }
+        }
+
+        match drain_deadline {
+            None => {
+                if results.iter().all(|r| r.is_some()) {
+                    let out = std::mem::take(&mut results);
+                    break GenOutcome::Finished(
+                        out.into_iter().map(|r| r.unwrap()).collect(),
+                    );
+                }
+                if statuses.iter().all(|s| s.is_some()) {
+                    // Commit the epoch: every rank checkpointed this cut,
+                    // so it is a globally consistent restart point.
+                    committed.epoch = expect_epoch + 1;
+                    committed.mems =
+                        statuses.iter_mut().map(|s| s.take().unwrap()).collect();
+                    if trace {
+                        pipe.push(Body::Fault {
+                            name: "checkpoint".into(),
+                            detail: format!(
+                                "epoch {} committed across {} ranks",
+                                expect_epoch, nproc
+                            ),
+                            peer: None,
+                            last_seq: None,
+                        });
+                    }
+                    expect_epoch += 1;
+                    for (rank, w) in writers.iter_mut().enumerate() {
+                        if let Err(e) = w.write(FrameKind::Blob, &[DIRECTIVE_PROCEED]) {
+                            if !accounted[rank] {
+                                accounted[rank] = true;
+                                failed.push((
+                                    Some(rank),
+                                    format!("sending proceed: {}", e),
+                                ));
+                            }
+                            start_drain(&mut drain_deadline);
+                        }
+                    }
+                }
+            }
+            Some(dl) => {
+                if accounted.iter().all(|&a| a) || Instant::now() >= dl {
+                    break GenOutcome::Failed {
+                        dead: std::mem::take(&mut failed),
+                    };
+                }
+            }
+        }
+    };
+
+    match outcome {
+        GenOutcome::Finished(res) => {
+            let reap_errors = reap(&mut children, cfg.result_deadline);
+            if !reap_errors.is_empty() {
+                return Err(reap_errors.join("; "));
+            }
+            Ok(GenOutcome::Finished(res))
+        }
+        GenOutcome::Failed { dead } => {
+            // Salvage the failed generation's recovery evidence: its fault
+            // events and retransmission counts would otherwise die with it.
+            for rank in 0..nproc {
+                salvaged[rank].append(&mut prov_faults[rank]);
+                recovery.retransmits += prov_retx[rank];
+            }
+            kill_generation(&mut children);
+            Ok(GenOutcome::Failed { dead })
+        }
+    }
+}
+
+enum SupvDrive {
+    Done(DriveOutput),
+    Exhausted(String),
+}
+
+/// The supervised replacement for the fire-and-collect driver: run
+/// generations until one finishes, respawning failed cohorts from the
+/// last committed checkpoint, then validate exactly like the default
+/// path. When the respawn budget is exhausted, degrade to the in-process
+/// thread backend and mark the result [`Replayed::degraded`].
+fn supervised_validate_replay(
+    job: &NetJob,
+    cfg: &NetRunConfig,
+    compiled: &Compiled,
+    nproc: usize,
+    init: &(impl Fn(&mut Memory) + Sync),
+    exec: &SpmdExec,
+    mut pipe: BufTracer,
+) -> Result<Replayed, String> {
+    let trace = job.trace;
+    let mut recovery = RecoveryCounters::default();
+    let mut salvaged: Vec<Vec<TraceEvent>> = vec![Vec::new(); nproc];
+    let listener = NetListener::bind(cfg.addr_kind, "netrun").map_err(|e| e.to_string())?;
+    let mut plan = cfg.plan().resolve(nproc);
+    let budget = cfg
+        .respawn_budget
+        .unwrap_or_else(|| cfg.effective_retries().max(1));
+    let respawn_retry = RetryPolicy::default();
+    let mut committed = Committed {
+        epoch: 0,
+        mems: Vec::new(),
+    };
+    let mut attempts: u32 = 0;
+
+    let drive = loop {
+        let outcome = run_generation(
+            job,
+            cfg,
+            compiled,
+            nproc,
+            &listener,
+            &plan,
+            &mut committed,
+            &mut pipe,
+            &mut recovery,
+            &mut salvaged,
+        )?;
+        match outcome {
+            GenOutcome::Finished(results) => {
+                let mut stats = ReplayStats::default();
+                let mut metrics = CommMetrics::new(nproc, compiled.spmd.comms.len());
+                let mut mems = Vec::with_capacity(nproc);
+                let mut rank_obs: Vec<(usize, Vec<TraceEvent>)> = Vec::new();
+                for (rank, (res, obs)) in results.into_iter().enumerate() {
+                    let (s, m, mem) =
+                        res.expect("finished generation carries only successful results");
+                    stats.messages_sent += s.messages_sent;
+                    stats.events += s.events;
+                    metrics.merge(&m);
+                    mems.push(mem);
+                    if trace {
+                        rank_obs.push((rank, obs));
+                    }
+                }
+                break SupvDrive::Done((stats, metrics, mems, rank_obs));
+            }
+            GenOutcome::Failed { dead } => {
+                attempts += 1;
+                let who = dead
+                    .iter()
+                    .map(|(r, why)| match r {
+                        Some(r) => format!("rank {}: {}", r, why),
+                        None => why.clone(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                if attempts > budget {
+                    break SupvDrive::Exhausted(format!(
+                        "respawn budget ({}) exhausted; last generation failed with: {}",
+                        budget, who
+                    ));
+                }
+                recovery.respawns += dead.iter().filter(|(r, _)| r.is_some()).count().max(1) as u64;
+                for (r, why) in &dead {
+                    let Some(r) = *r else { continue };
+                    // The respawned cohort must not re-suffer consumed
+                    // faults: this rank's kill fired, and link injections
+                    // fire at most once per run.
+                    plan = plan.for_respawn(r);
+                    if trace {
+                        pipe.push(Body::Fault {
+                            name: "respawn".into(),
+                            detail: format!(
+                                "rank {} failed ({}); gang-restarting from checkpoint \
+                                 epoch {} (attempt {}/{})",
+                                r, why, committed.epoch, attempts, budget
+                            ),
+                            peer: Some(r),
+                            last_seq: None,
+                        });
+                    }
+                }
+                std::thread::sleep(respawn_retry.delay(attempts - 1));
+            }
+        }
+    };
+
+    match drive {
+        SupvDrive::Done((stats, mut metrics, mems, mut rank_obs)) => {
+            check_owner_slots(&compiled.spmd, &mems, &exec.mems)
+                .map_err(|e| format!("processes vs reference: {}", e))?;
+            metrics.recovery.merge(&recovery);
+            let obs = if trace {
+                pipe.end("replay");
+                // Fault evidence salvaged from rolled-back generations
+                // precedes the surviving generation's timeline.
+                for (rank, list) in salvaged.iter_mut().enumerate() {
+                    if list.is_empty() {
+                        continue;
+                    }
+                    if let Some((_, evs)) = rank_obs.iter_mut().find(|(r, _)| *r == rank) {
+                        let mut merged = std::mem::take(list);
+                        merged.append(evs);
+                        *evs = merged;
+                    } else {
+                        rank_obs.push((rank, std::mem::take(list)));
+                    }
+                }
+                Some(hpf_obs::Trace::merge(pipe.into_events(), rank_obs))
+            } else {
+                None
+            };
+            Ok(Replayed {
+                mems,
+                stats,
+                metrics,
+                obs,
+                degraded: false,
+            })
+        }
+        SupvDrive::Exhausted(reason) => {
+            recovery.fallbacks += 1;
+            eprintln!(
+                "phpf netrun: {}; degrading to the in-process thread backend",
+                reason
+            );
+            if trace {
+                pipe.push(Body::Fault {
+                    name: "fallback".into(),
+                    detail: format!("{}; re-running on the thread backend", reason),
+                    peer: None,
+                    last_seq: None,
+                });
+            }
+            let mut r = validate_replay_traced(&compiled.spmd, init, job.vectorize, trace)?;
+            r.metrics.recovery.merge(&recovery);
+            r.degraded = true;
+            if trace {
+                pipe.end("replay");
+                match &mut r.obs {
+                    Some(t) => t.prepend_pipeline(pipe.into_events()),
+                    None => r.obs = Some(hpf_obs::Trace::from_pipeline(pipe.into_events())),
+                }
+            }
+            Ok(r)
+        }
+    }
 }
 
 /// Entry point of the `networker` binary: one spawned process per rank.
@@ -946,6 +1682,9 @@ pub fn worker_main() -> Result<(), String> {
 
     let payload = read_blob(&mut reader, "job from parent")?;
     let wire = decode_job(&payload)?;
+    if wire.supervised {
+        return worker_supervised(&wire, rank, &listener, reader, writer);
+    }
     let compiled = wire.job.compile()?;
     let program = &compiled.spmd.program;
 
@@ -1004,6 +1743,7 @@ fn run_rank_inner(
     let mesh_cfg = SocketConfig {
         io_deadline: wire.io_deadline,
         connect_deadline: wire.connect_deadline,
+        ..SocketConfig::default()
     };
     let mut transport =
         SocketTransport::connect_mesh(rank, nproc, listener, &wire.addrs, mesh_cfg)
@@ -1016,4 +1756,192 @@ fn run_rank_inner(
     let (stats, metrics) =
         replay_rank_traced(&compiled.spmd, &trace[rank], &mut mem, &mut transport, obs)?;
     Ok((stats, metrics, mem))
+}
+
+/// Supervised worker: heartbeats on a background thread, lock-step epoch
+/// replay with per-epoch checkpoint statuses, fault injection from the
+/// wire plan, and a final tagged result frame.
+fn worker_supervised(
+    wire: &WireJob,
+    rank: usize,
+    listener: &NetListener,
+    mut reader: FrameReader<NetStream>,
+    writer: FrameWriter<NetStream>,
+) -> Result<(), String> {
+    // Heartbeats start before the (potentially slow) recompile and mesh
+    // so the parent's deadline detector never mistakes a busy worker for
+    // a dead one.
+    let control = Arc::new(Mutex::new(writer));
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb = {
+        let control = Arc::clone(&control);
+        let stop = Arc::clone(&stop);
+        let interval = wire.heartbeat_interval.max(Duration::from_millis(10));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if control
+                    .lock()
+                    .unwrap()
+                    .write(FrameKind::Blob, &[TAG_HEARTBEAT])
+                    .is_err()
+                {
+                    return;
+                }
+                std::thread::sleep(interval);
+            }
+        })
+    };
+    let res = worker_supervised_inner(wire, rank, listener, &mut reader, &control);
+    stop.store(true, Ordering::Relaxed);
+    let _ = hb.join();
+    res
+}
+
+fn worker_supervised_inner(
+    wire: &WireJob,
+    rank: usize,
+    listener: &NetListener,
+    reader: &mut FrameReader<NetStream>,
+    control: &Arc<Mutex<FrameWriter<NetStream>>>,
+) -> Result<(), String> {
+    let compiled = wire.job.compile()?;
+    let program = &compiled.spmd.program;
+    let nproc = compiled.spmd.maps.grid.total();
+    if nproc != wire.nproc {
+        return Err(format!(
+            "compiled grid has {} processors, job says {}",
+            nproc, wire.nproc
+        ));
+    }
+    let init = make_init(&compiled, &wire.job.fills)?;
+    let mut exec = SpmdExec::new(&compiled.spmd, &init).with_trace();
+    if !wire.job.vectorize {
+        exec = exec.without_vectorization();
+    }
+    exec.run()
+        .map_err(|e| format!("reference run failed: {:?}", e))?;
+    let cuts = exec.epoch_cuts().to_vec();
+    let trace = exec.trace.take().expect("trace recorded");
+
+    let mut mem = Memory::zeroed(program);
+    init(&mut mem);
+    let mut start_epoch = 0usize;
+    if let Some((done, blob)) = &wire.resume {
+        // Resume from the supervisor's committed checkpoint instead of
+        // the initial fills.
+        let mut d = Dec::new(blob);
+        mem = decode_memory(&mut d, program)?;
+        d.done().map_err(|e| e.to_string())?;
+        start_epoch = *done as usize;
+    }
+
+    let injector = (!wire.plan.is_empty()).then(|| FaultInjector::new(&wire.plan, rank));
+    let mesh_cfg = SocketConfig {
+        io_deadline: wire.io_deadline,
+        connect_deadline: wire.connect_deadline,
+        retry: RetryPolicy {
+            max_attempts: wire.retries,
+            // Decorrelate link backoff jitter across ranks.
+            seed: rank as u64,
+            ..RetryPolicy::default()
+        },
+    };
+    let mut transport =
+        SocketTransport::connect_mesh(rank, nproc, listener, &wire.addrs, mesh_cfg)
+            .map_err(|e: NetError| format!("proc {}: mesh: {}", rank, e))?;
+    if let Some(inj) = &injector {
+        transport.set_fault_injector(inj.clone());
+    }
+    if wire.fail_rank == Some(rank) {
+        // Legacy abrupt-death injection: deliberately NOT rescued — it
+        // models a crash outside the supervised protocol.
+        std::process::abort();
+    }
+
+    let mut obs = wire.job.trace.then(|| BufTracer::for_rank(rank));
+    let mut fault_log: Vec<TraceEvent> = Vec::new();
+    let mut stats = ReplayStats::default();
+    let mut metrics = CommMetrics::new(nproc, compiled.spmd.comms.len());
+    let events = &trace[rank];
+    let nepochs = cuts.len().saturating_sub(1);
+    for epoch in start_epoch..nepochs {
+        let seg = &events[cuts[epoch][rank]..cuts[epoch + 1][rank]];
+        let res = replay_rank_segment(
+            &compiled.spmd,
+            seg,
+            &mut mem,
+            &mut transport,
+            &mut stats,
+            &mut metrics,
+            obs.as_mut(),
+            |_| {
+                if let Some(inj) = &injector {
+                    if inj.note_event() {
+                        // The fault plan's kill: die as abruptly as a real
+                        // crash, mid-epoch, without a goodbye.
+                        std::process::abort();
+                    }
+                }
+            },
+        );
+        if obs.is_none() {
+            fault_log.extend(transport.take_fault_events());
+        }
+        // Cumulative fault snapshot rides on every status so a later
+        // death cannot erase this epoch's recovery evidence.
+        let faults: Vec<TraceEvent> = match &obs {
+            Some(o) => o
+                .events()
+                .iter()
+                .filter(|ev| matches!(ev.body, Body::Fault { .. }))
+                .cloned()
+                .collect(),
+            None => fault_log.clone(),
+        };
+        let mut enc = Enc::new();
+        enc.u8(TAG_STATUS);
+        enc.u32(epoch as u32);
+        enc.u64(transport.retransmits());
+        match &res {
+            Ok(()) => {
+                enc.u8(1);
+                encode_memory(&mut enc, program, &mem);
+            }
+            Err(msg) => {
+                enc.u8(0);
+                enc.str(msg);
+            }
+        }
+        encode_obs_events(&mut enc, &faults);
+        let sent = control.lock().unwrap().write(FrameKind::Blob, &enc.buf);
+        res?;
+        sent.map_err(|e| format!("sending epoch {} status: {}", epoch, e))?;
+        let payload = read_blob(reader, "directive from supervisor")?;
+        if payload.first() != Some(&DIRECTIVE_PROCEED) {
+            return Err(format!(
+                "unexpected directive {:?} from supervisor",
+                payload.first()
+            ));
+        }
+    }
+
+    let fin = transport.finish();
+    if let Some(o) = obs.as_mut() {
+        o.absorb(transport.take_fault_events());
+    }
+    metrics.saw_in_flight(transport.peak_in_flight());
+    metrics.recovery.retransmits = transport.retransmits();
+    let result: RankResult = match fin {
+        Ok(()) => Ok((stats, metrics, mem)),
+        Err(e) => Err(format!("proc {}: teardown: {}", rank, e)),
+    };
+    let obs_events = obs.map(|o| o.into_events()).unwrap_or_default();
+    let mut blob = vec![TAG_RESULT];
+    blob.extend(encode_result(&result, &obs_events, program));
+    control
+        .lock()
+        .unwrap()
+        .write(FrameKind::Blob, &blob)
+        .map_err(|e| format!("sending result: {}", e))?;
+    result.map(|_| ())
 }

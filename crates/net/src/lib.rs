@@ -20,14 +20,22 @@
 //!   socket links and the job/result plumbing of the multi-process driver
 //!   (sequence numbers catch dropped and duplicated frames, a checksum
 //!   catches corruption, and the length prefix makes truncation
-//!   detectable).
+//!   detectable);
+//! * [`retry`] — the workspace's single backoff policy (exponential,
+//!   jittered, attempt- and deadline-capped), shared by mesh connection,
+//!   link retransmission and worker respawn;
+//! * [`fault`] — deterministic fault injection: a seeded, replayable plan
+//!   of frame corruptions and worker kills that drives the recovery
+//!   machinery end-to-end.
 //!
 //! The crate deliberately knows nothing about SPMD programs or traces —
 //! only about moving [`hpf_ir::Value`]s between ranks — so the runtime can
 //! stay generic over the backend.
 
 pub mod channel;
+pub mod fault;
 pub mod frame;
+pub mod retry;
 pub mod socket;
 
 use hpf_ir::Value;
@@ -35,8 +43,12 @@ use std::fmt;
 use std::sync::Arc;
 
 pub use channel::{channel_group, ChannelTransport};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, Injection};
 pub use frame::{FrameError, FrameKind};
-pub use socket::{Addr, AddrKind, NetListener, NetStream, SocketConfig, SocketTransport};
+pub use retry::RetryPolicy;
+pub use socket::{
+    Addr, AddrKind, NetListener, NetStream, ReplayBuffer, SocketConfig, SocketTransport,
+};
 
 /// What travels between ranks: a single value or a coalesced section.
 ///

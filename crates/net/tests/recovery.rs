@@ -1,0 +1,100 @@
+//! Property tests for the recovery primitives: the shared retry policy's
+//! delay schedule and the per-link replay buffer.
+
+use hpf_net::{FrameKind, ReplayBuffer, RetryPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    /// Un-jittered delays are monotone non-decreasing and never exceed the
+    /// cap; jittered delays only ever shave time off the raw schedule.
+    #[test]
+    fn retry_delays_monotone_and_bounded(
+        base_ms in 1u64..50,
+        cap_ms in 1u64..200,
+        jitter in 0u32..100,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = RetryPolicy {
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+            jitter: jitter as f64 / 100.0,
+            seed,
+            ..RetryPolicy::default()
+        };
+        let mut prev = Duration::ZERO;
+        for k in 0..40 {
+            let raw = p.raw_delay(k);
+            prop_assert!(raw >= prev, "raw schedule must be monotone");
+            prop_assert!(raw <= p.cap, "raw delay above the cap");
+            prop_assert!(p.delay(k) <= raw, "jitter must only shave time off");
+            prev = raw;
+        }
+    }
+
+    /// The schedule always terminates, hands out at most `max_attempts`
+    /// delays, and their sum never exceeds the deadline.
+    #[test]
+    fn retry_schedule_terminates_within_deadline(
+        base_ms in 1u64..20,
+        attempts in 0u32..64,
+        deadline_ms in 1u64..500,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = RetryPolicy {
+            base: Duration::from_millis(base_ms),
+            max_attempts: attempts,
+            deadline: Duration::from_millis(deadline_ms),
+            seed,
+            ..RetryPolicy::default()
+        };
+        let delays: Vec<Duration> = p.schedule().collect();
+        prop_assert!(delays.len() <= attempts as usize);
+        let total: Duration = delays.iter().sum();
+        prop_assert!(total <= p.deadline, "schedule overshot the deadline");
+    }
+
+    /// With enough capacity, frames leave the replay buffer only through
+    /// cumulative ACKs: after any interleaving of pushes and acks, exactly
+    /// the frames above the highest ack remain, and each is retrievable
+    /// under its original sequence number with its original payload.
+    #[test]
+    fn replay_buffer_evicts_only_acked_frames(
+        first in 0u32..1000,
+        pushes in 1usize..60,
+        ack_points in proptest::collection::vec(0usize..60, 0..6),
+    ) {
+        let mut rb = ReplayBuffer::new(64);
+        let mut highest_ack: Option<u32> = None;
+        let mut acks = ack_points.clone();
+        acks.sort_unstable();
+        let mut acks = acks.into_iter().peekable();
+        for i in 0..pushes {
+            let seq = first + i as u32;
+            rb.push(seq, FrameKind::One, vec![i as u8]);
+            while acks.peek() == Some(&i) {
+                acks.next();
+                rb.ack(seq);
+                highest_ack = Some(seq);
+            }
+        }
+        let live_from = match highest_ack {
+            Some(a) => a + 1,
+            None => first,
+        };
+        let last = first + pushes as u32 - 1;
+        let expect_live = (last + 1).saturating_sub(live_from) as usize;
+        prop_assert_eq!(rb.len(), expect_live, "only ACKed frames may leave");
+        if expect_live > 0 {
+            prop_assert_eq!(rb.first_seq(), live_from);
+            let frames = rb.from_seq(live_from).expect("window must retain unacked frames");
+            for (seq, _, payload) in frames {
+                prop_assert_eq!(payload, vec![(seq - first) as u8]);
+            }
+        }
+        // Anything below the live window is unrecoverable, by design.
+        if live_from > first {
+            prop_assert!(rb.from_seq(live_from - 1).is_none());
+        }
+    }
+}

@@ -128,6 +128,12 @@ pub struct SpmdExec<'s> {
     pub step_limit: u64,
     /// When present, the execution is recorded for threaded replay.
     pub trace: Option<Trace>,
+    /// Epoch boundaries of the recorded trace: snapshots of every rank's
+    /// trace length, taken at top-level statement boundaries and outermost
+    /// loop iteration starts — but only while no coalescing group is open,
+    /// so every event before a cut is final. Supervised replay restarts a
+    /// failed rank from the last committed cut.
+    cuts: Vec<Vec<usize>>,
     /// When present, one observability timeline per processor: every wire
     /// message yields a send-side event on the source rank's timeline and
     /// a receive-side event on the destination rank's.
@@ -168,6 +174,7 @@ impl<'s> SpmdExec<'s> {
             steps: 0,
             step_limit: 2_000_000_000,
             trace: None,
+            cuts: Vec::new(),
             obs: None,
             loop_env: Vec::new(),
             vectorize: true,
@@ -245,6 +252,30 @@ impl<'s> SpmdExec<'s> {
     fn record(&mut self, pid: usize, ev: Event) {
         if let Some(t) = &mut self.trace {
             t[pid].push(ev);
+        }
+    }
+
+    /// The recorded trace's epoch boundaries (see the `cuts` field). The
+    /// first cut is all zeros, the last covers the full trace; consecutive
+    /// duplicates are elided. Empty unless the execution was traced.
+    pub fn epoch_cuts(&self) -> &[Vec<usize>] {
+        &self.cuts
+    }
+
+    /// Snapshot an epoch boundary if it is safe: every rank's current
+    /// trace position, provided no coalescing group is open (an open group
+    /// still grows an already-recorded event in place, so cutting there
+    /// would split a message).
+    fn maybe_cut(&mut self) {
+        let Some(t) = &self.trace else {
+            return;
+        };
+        if !self.open.is_empty() {
+            return;
+        }
+        let cut: Vec<usize> = t.iter().map(|e| e.len()).collect();
+        if self.cuts.last() != Some(&cut) {
+            self.cuts.push(cut);
         }
     }
 
@@ -376,7 +407,14 @@ impl<'s> SpmdExec<'s> {
     /// Run to completion.
     pub fn run(&mut self) -> Result<ExecStats, InterpError> {
         let body = self.sp.program.body.clone();
-        match self.exec_block(&body)? {
+        self.maybe_cut();
+        let flow = self.exec_block(&body)?;
+        // Execution is over, so every still-open coalescing group is done
+        // growing; close them all so the final cut (which must cover the
+        // whole trace) is never vetoed.
+        self.close_groups(0);
+        self.maybe_cut();
+        match flow {
             Flow::Normal => Ok(self.stats),
             Flow::Goto(l) => Err(InterpError::UnresolvedGoto(l.0)),
         }
@@ -389,6 +427,10 @@ impl<'s> SpmdExec<'s> {
     fn exec_block(&mut self, block: &[StmtId]) -> Result<Flow, InterpError> {
         let mut idx = 0;
         while idx < block.len() {
+            if self.loop_env.is_empty() {
+                // Top-level statement boundary: an epoch cut candidate.
+                self.maybe_cut();
+            }
             match self.exec_stmt(block[idx])? {
                 Flow::Normal => idx += 1,
                 Flow::Goto(l) => {
@@ -450,6 +492,12 @@ impl<'s> SpmdExec<'s> {
                     // A new iteration at this depth: coalesced messages of
                     // operations placed at this level or deeper are done.
                     self.close_groups(self.loop_env.len());
+                    if self.loop_env.len() == 1 {
+                        // Outermost-loop iteration start: an epoch cut
+                        // candidate (taken only if no level-0 group
+                        // straddles the boundary).
+                        self.maybe_cut();
+                    }
                     for m in &mut self.mems {
                         m.set_scalar(var, Value::Int(i));
                     }

@@ -37,8 +37,9 @@ pub use crosscheck::{cross_check, CrossCheck, OpCheck};
 pub use exec::{validate_against_sequential, ExecStats, SpmdExec};
 pub use guard::Guard;
 pub use lower::{lower, CommData, CommOp, ReduceOp, SpmdProgram};
-pub use metrics::CommMetrics;
+pub use metrics::{CommMetrics, RecoveryCounters};
 pub use runtime::{
-    check_owner_slots, replay, replay_rank, replay_rank_traced, replay_traced, validate_replay,
-    validate_replay_opts, validate_replay_traced, Replayed, ReplayStats,
+    check_owner_slots, replay, replay_rank, replay_rank_segment, replay_rank_traced,
+    replay_traced, validate_replay, validate_replay_opts, validate_replay_traced, Replayed,
+    ReplayStats,
 };

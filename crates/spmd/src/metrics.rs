@@ -53,6 +53,33 @@ pub struct OpMetrics {
     pub elements: u64,
 }
 
+/// Recovery-action counters: how much self-healing an execution needed.
+/// All zeros on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Frames resent after a peer's NACK (link-level retransmission).
+    pub retransmits: u64,
+    /// Worker heartbeats that missed their deadline at the supervisor.
+    pub heartbeat_misses: u64,
+    /// Worker processes respawned from an epoch checkpoint.
+    pub respawns: u64,
+    /// Whole-job downgrades to the in-process thread backend.
+    pub fallbacks: u64,
+}
+
+impl RecoveryCounters {
+    pub fn is_zero(&self) -> bool {
+        *self == RecoveryCounters::default()
+    }
+
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.retransmits += other.retransmits;
+        self.heartbeat_misses += other.heartbeat_misses;
+        self.respawns += other.respawns;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
 /// Aggregated communication metrics of one execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommMetrics {
@@ -66,6 +93,9 @@ pub struct CommMetrics {
     /// assembly); the threaded runtime reports real sent-but-not-received
     /// messages across all channels.
     pub max_in_flight: u64,
+    /// Self-healing overhead: retransmissions, heartbeat misses, respawns
+    /// and backend fallbacks (all zero on a fault-free run).
+    pub recovery: RecoveryCounters,
 }
 
 impl CommMetrics {
@@ -76,6 +106,7 @@ impl CommMetrics {
             per_op: vec![OpMetrics::default(); nops],
             untracked_messages: 0,
             max_in_flight: 0,
+            recovery: RecoveryCounters::default(),
         }
     }
 
@@ -172,6 +203,7 @@ impl CommMetrics {
         }
         self.untracked_messages += other.untracked_messages;
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+        self.recovery.merge(&other.recovery);
     }
 
     /// Render as a JSON object (hand-rolled: the workspace builds offline
@@ -217,7 +249,15 @@ impl CommMetrics {
                 o.messages, o.bytes, o.elements
             ));
         }
-        out.push_str("]}");
+        out.push_str("],");
+        out.push_str(&format!(
+            "\"recovery\":{{\"retransmits\":{},\"heartbeat_misses\":{},\"respawns\":{},\"fallbacks\":{}}}",
+            self.recovery.retransmits,
+            self.recovery.heartbeat_misses,
+            self.recovery.respawns,
+            self.recovery.fallbacks
+        ));
+        out.push('}');
         out
     }
 }
@@ -279,5 +319,27 @@ mod tests {
         assert!(j.contains("\"per_pattern\":{\"shift\""), "{}", j);
         assert!(j.contains("\"messages\":1"), "{}", j);
         assert!(j.contains("\"per_op\":[{"), "{}", j);
+        assert!(j.contains("\"recovery\":{\"retransmits\":0"), "{}", j);
+    }
+
+    #[test]
+    fn recovery_counters_merge_and_serialize() {
+        let mut a = CommMetrics::new(1, 0);
+        assert!(a.recovery.is_zero());
+        a.recovery.retransmits = 2;
+        let mut b = CommMetrics::new(1, 0);
+        b.recovery.respawns = 1;
+        b.recovery.fallbacks = 1;
+        a.merge(&b);
+        assert_eq!(
+            a.recovery,
+            RecoveryCounters {
+                retransmits: 2,
+                heartbeat_misses: 0,
+                respawns: 1,
+                fallbacks: 1,
+            }
+        );
+        assert!(a.to_json().contains("\"respawns\":1"));
     }
 }

@@ -50,6 +50,10 @@ pub struct Replayed {
     pub metrics: CommMetrics,
     /// Merged per-rank observability timelines, when the replay was traced.
     pub obs: Option<hpf_obs::Trace>,
+    /// `true` when the socket driver exhausted its recovery budget and
+    /// gracefully degraded to the in-process thread backend; the threaded
+    /// runtime itself never sets this.
+    pub degraded: bool,
 }
 
 /// Replay one rank's recorded event list over a transport, mutating the
@@ -82,27 +86,19 @@ pub fn replay_rank_traced<T: Transport>(
 ) -> Result<(ReplayStats, CommMetrics), String> {
     let pid = transport.rank();
     let nproc = transport.nproc();
-    let mut worker = RankWorker {
+    let mut stats = ReplayStats::default();
+    let mut metrics = CommMetrics::new(nproc, sp.comms.len());
+    let mut err = replay_rank_segment(
         sp,
-        program: &sp.program,
-        pid,
+        events,
         mem,
         transport,
-        stack: Vec::new(),
-        last_vec: None,
-        stats: ReplayStats::default(),
-        metrics: CommMetrics::new(nproc, sp.comms.len()),
-        obs: obs.as_deref_mut(),
-    };
-    let mut err = None;
-    for ev in events {
-        if let Err(e) = worker.step(ev) {
-            err = Some(format!("proc {}: {}", pid, e));
-            break;
-        }
-    }
-    let stats = worker.stats;
-    let mut metrics = worker.metrics;
+        &mut stats,
+        &mut metrics,
+        obs.as_deref_mut(),
+        |_| {},
+    )
+    .err();
     if err.is_none() {
         if let Err(e) = transport.finish() {
             err = Some(format!("proc {}: teardown: {}", pid, e));
@@ -116,6 +112,62 @@ pub fn replay_rank_traced<T: Transport>(
     }
     metrics.saw_in_flight(transport.peak_in_flight());
     Ok((stats, metrics))
+}
+
+/// Replay a *segment* of a rank's event list — the epoch-sized unit of
+/// [`crate::exec::SpmdExec::epoch_cuts`] — accumulating stats and metrics
+/// across calls. Unlike [`replay_rank_traced`] this neither tears the
+/// transport down nor folds in its in-flight peak, so a supervised worker
+/// can run epoch after epoch over one mesh (checkpointing between them)
+/// and finish only once. `tick` runs after every replayed event; the fault
+/// plan's kill trigger hangs off it.
+///
+/// Segments must start at epoch cuts: the worker's reduction stack is
+/// empty there (a `RecvPartial` batch and its `Combine` always share an
+/// epoch), so a fresh internal worker per segment is sound.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_rank_segment<T: Transport>(
+    sp: &SpmdProgram,
+    events: &[Event],
+    mem: &mut Memory,
+    transport: &mut T,
+    stats: &mut ReplayStats,
+    metrics: &mut CommMetrics,
+    mut obs: Option<&mut BufTracer>,
+    mut tick: impl FnMut(u64),
+) -> Result<(), String> {
+    let pid = transport.rank();
+    let nproc = transport.nproc();
+    let mut worker = RankWorker {
+        sp,
+        program: &sp.program,
+        pid,
+        mem,
+        transport,
+        stack: Vec::new(),
+        last_vec: None,
+        stats: ReplayStats::default(),
+        metrics: CommMetrics::new(nproc, sp.comms.len()),
+        obs: obs.as_deref_mut(),
+    };
+    let mut err = None;
+    for (i, ev) in events.iter().enumerate() {
+        if let Err(e) = worker.step(ev) {
+            err = Some(format!("proc {}: {}", pid, e));
+            break;
+        }
+        tick(i as u64);
+    }
+    stats.messages_sent += worker.stats.messages_sent;
+    stats.events += worker.stats.events;
+    metrics.merge(&worker.metrics);
+    if let Some(o) = obs {
+        o.absorb(transport.take_fault_events());
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Run the threaded replay of a recorded trace; returns the per-processor
@@ -180,6 +232,7 @@ pub fn replay_traced(
         stats,
         metrics,
         obs,
+        degraded: false,
     })
 }
 

@@ -112,4 +112,48 @@ else
     done
 fi
 
-echo "OK: build, tests, lints, bench output, socket smoke and trace smoke all clean"
+echo "==> chaos smoke (TOMCATV small, socket backend, injected faults)"
+# A corrupted frame plus a worker kill must self-heal (retransmission +
+# checkpointed gang respawn), still validate against the reference, and
+# report its recovery work in both the trace and the BENCH_JSON counters.
+chaostrace=$(mktemp -t phpfc-chaos.XXXXXX)
+trap 'rm -f "$tracefile" "$chaostrace"' EXIT
+set +e
+out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --backend socket \
+    --fault-plan 'corrupt:0>1@2,kill:1@600' --trace "$chaostrace" 2>&1)
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: chaos run exited $status (recovery did not heal the faults)" >&2
+    echo "$out" >&2
+    exit "$status"
+fi
+echo "$out" | grep -q 'backend socket: replay on 4 worker processes matched' || {
+    echo "FAIL: faulted socket replay did not validate against the reference" >&2
+    echo "$out" >&2
+    exit 1
+}
+for needle in '"name":"fault:retransmit"' '"name":"fault:respawn"' '"name":"fault:checkpoint"'; do
+    grep -q "$needle" "$chaostrace" || {
+        echo "FAIL: chaos trace lacks $needle" >&2
+        exit 1
+    }
+done
+bench=$(echo "$out" | grep '^BENCH_JSON {') || {
+    echo "FAIL: chaos run printed no BENCH_JSON line" >&2
+    exit 1
+}
+echo "$bench" | grep -q '"recovery":{"retransmits":0,"heartbeat_misses":0,"respawns":0,"fallbacks":0}' && {
+    echo "FAIL: chaos run reported all-zero recovery counters" >&2
+    echo "$bench" >&2
+    exit 1
+}
+# The empty plan stays free of recovery side effects: zero counters.
+out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --backend socket 2>&1)
+echo "$out" | grep '^BENCH_JSON {' | grep -q '"recovery":{"retransmits":0,"heartbeat_misses":0,"respawns":0,"fallbacks":0}' || {
+    echo "FAIL: fault-free run reported nonzero recovery counters" >&2
+    echo "$out" | grep '^BENCH_JSON {' >&2
+    exit 1
+}
+
+echo "OK: build, tests, lints, bench output, socket smoke, trace smoke and chaos smoke all clean"

@@ -28,6 +28,22 @@ fn main() {
         .unwrap_or_else(|e| panic!("{}: {}", v.name(), e));
         println!("validated {:<22} (n={}, P=4): results match sequential", v.name(), n_small);
     }
+    // Static verification of every configuration (skip with --no-verify).
+    let verified = if phpf_bench::verification_disabled() {
+        None
+    } else {
+        let (x0, y0) = tomcatv::init_mesh(n_small);
+        Some(phpf_bench::verify_small(
+            "TOMCATV",
+            &src,
+            &[
+                Version::Replication,
+                Version::ProducerAlignment,
+                Version::SelectedAlignment,
+            ],
+            &[("x", x0), ("y", y0)],
+        ))
+    };
     println!();
 
     // The paper's configuration: n = 513, 16 thin nodes.
@@ -57,5 +73,8 @@ fn main() {
         Options::new(Version::SelectedAlignment),
     )
     .expect("traced compile");
-    println!("{}", phpf_bench::bench_json_traced("table1", "sim", &rows, Some(&trace)));
+    println!(
+        "{}",
+        phpf_bench::bench_json_full("table1", "sim", &rows, Some(&trace), verified.as_ref())
+    );
 }

@@ -32,6 +32,17 @@ fn main() {
             check.predicted_total
         );
     }
+    // Static verification of both configurations (skip with --no-verify).
+    let verified = if phpf_bench::verification_disabled() {
+        None
+    } else {
+        Some(phpf_bench::verify_small(
+            "DGEFA",
+            &src,
+            &[Version::NoReductionAlignment, Version::SelectedAlignment],
+            &[("a", dgefa::init_matrix(n_small))],
+        ))
+    };
     println!();
 
     let n = 512;
@@ -64,5 +75,8 @@ fn main() {
         Options::new(Version::SelectedAlignment),
     )
     .expect("traced compile");
-    println!("{}", phpf_bench::bench_json_traced("table2", "sim", &rows, Some(&trace)));
+    println!(
+        "{}",
+        phpf_bench::bench_json_full("table2", "sim", &rows, Some(&trace), verified.as_ref())
+    );
 }

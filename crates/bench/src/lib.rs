@@ -138,6 +138,20 @@ pub fn bench_json_traced(
     rows: &[Vec<Cell>],
     trace: Option<&hpf_obs::Trace>,
 ) -> String {
+    bench_json_full(table, backend, rows, trace, None)
+}
+
+/// [`bench_json_traced`] with the verifier's verdict attached as a
+/// `"verified":{"privatization":…,"schedule":…,"races":…}` field, so a
+/// BENCH_JSON consumer can tell checked numbers from unchecked ones
+/// (`--no-verify` runs omit the field).
+pub fn bench_json_full(
+    table: &str,
+    backend: &str,
+    rows: &[Vec<Cell>],
+    trace: Option<&hpf_obs::Trace>,
+    verified: Option<&hpf_verify::VerifyVerdict>,
+) -> String {
     let mut out = format!(
         "BENCH_JSON {{\"table\":\"{}\",\"backend\":\"{}\",\"cells\":[",
         table, backend
@@ -160,8 +174,70 @@ pub fn bench_json_traced(
         out.push_str(",\"trace\":");
         out.push_str(&t.span_summary_json());
     }
+    if let Some(v) = verified {
+        out.push_str(",\"verified\":");
+        out.push_str(&v.to_json());
+    }
     out.push('}');
     out
+}
+
+/// True when the benchmark invocation opted out of verification with
+/// `--no-verify` (the verifier runs by default at the validation size).
+pub fn verification_disabled() -> bool {
+    std::env::args().any(|a| a == "--no-verify")
+}
+
+/// Run the static verifier on `src` compiled under each version at the
+/// (small) validation size, initializing the named REAL arrays. Panics
+/// with rendered diagnostics on any error — benchmark numbers from a
+/// program whose schedule fails verification are meaningless. Returns
+/// the (all-ok) verdict for embedding in BENCH_JSON.
+pub fn verify_small(
+    what: &str,
+    src: &str,
+    versions: &[Version],
+    init_data: &[(&str, Vec<f64>)],
+) -> hpf_verify::VerifyVerdict {
+    let mut verdict = hpf_verify::VerifyVerdict {
+        privatization: true,
+        schedule: true,
+        races: true,
+    };
+    for &v in versions {
+        let c = compile_source(src, Options::new(v)).expect("kernel compiles");
+        let vars: Vec<(hpf_ir::VarId, &Vec<f64>)> = init_data
+            .iter()
+            .map(|(name, data)| {
+                let id = c.spmd.program.vars.lookup(name).unwrap_or_else(|| {
+                    panic!("{}: kernel has no variable {}", what, name)
+                });
+                (id, data)
+            })
+            .collect();
+        let report = c.verify(|m| {
+            for (id, data) in &vars {
+                m.fill_real(*id, data);
+            }
+        });
+        if !report.is_clean() {
+            panic!(
+                "{} ({}): verification failed\n{}",
+                what,
+                v.name(),
+                c.render_diagnostics(&report)
+            );
+        }
+        let rv = report.verdict();
+        verdict.privatization &= rv.privatization;
+        verdict.schedule &= rv.schedule;
+        verdict.races &= rv.races;
+        println!(
+            "verified  {:<22} (small size): privatization ok, schedule ok, races ok",
+            v.name()
+        );
+    }
+    verdict
 }
 
 /// Compile `src` once with pipeline tracing on and return the resulting

@@ -30,6 +30,20 @@
 //!                                      fallback; also read from the
 //!                                      PHPF_FAULT_PLAN environment
 //!                                      variable
+//!                  [--verify]          run the static verifier on the
+//!                                      lowered program (privatization
+//!                                      soundness, schedule matching /
+//!                                      deadlock-freedom / epoch-cut
+//!                                      closure, happens-before races)
+//!                                      and print rustc-style diagnostics;
+//!                                      nonzero exit on any error
+//!                  [--verify-trace <path>]
+//!                                      read a chrome://tracing JSON file
+//!                                      previously written with --trace
+//!                                      and check that its per-rank comm
+//!                                      event order is a linearization of
+//!                                      the program's static
+//!                                      happens-before relation
 //!                  [--net-retries <n>] socket backend recovery budget
 //!                                      (link retransmission attempts and
 //!                                      default respawn budget)
@@ -56,7 +70,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: phpfc <file.hpf> [--version <v>] [--procs P1[,P2,..]] \
          [--combine] [--auto-priv] [--estimate] [--observe] \
-         [--backend thread|socket] [--trace <path>] [--fault-plan <plan>] \
+         [--backend thread|socket] [--trace <path>] \
+         [--verify] [--verify-trace <path>] [--fault-plan <plan>] \
          [--net-retries <n>] [--net-io-deadline-ms <ms>] \
          [--net-connect-deadline-ms <ms>] [--pretty]"
     );
@@ -75,6 +90,8 @@ fn main() -> ExitCode {
     let mut pretty = false;
     let mut backend: Option<Backend> = None;
     let mut trace_path: Option<String> = None;
+    let mut verify = false;
+    let mut verify_trace_path: Option<String> = None;
     let mut fault_plan_src: Option<String> = std::env::var("PHPF_FAULT_PLAN").ok();
     let mut net_retries: Option<u32> = None;
     let mut net_io_deadline_ms: Option<u64> = None;
@@ -122,6 +139,11 @@ fn main() -> ExitCode {
                 trace_path = Some(p);
                 // A trace is only interesting for an actual run.
                 observe = true;
+            }
+            "--verify" => verify = true,
+            "--verify-trace" => {
+                let Some(p) = args.next() else { return usage() };
+                verify_trace_path = Some(p);
             }
             "--fault-plan" => {
                 let Some(p) = args.next() else { return usage() };
@@ -240,23 +262,70 @@ fn main() -> ExitCode {
         println!("messages {:>12.0}", r.messages);
         println!("bytes    {:>12.0}", r.bytes);
     }
-    if observe {
-        // Deterministic non-trivial data in every real array so the
-        // communication paths actually move values.
-        let arrays: Vec<_> = compiled
-            .spmd
-            .program
-            .vars
-            .arrays()
-            .filter(|(_, info)| info.ty == hpf_ir::ScalarTy::Real)
-            .map(|(v, info)| (v, info.shape().unwrap().len() as usize))
-            .collect();
-        let init = |m: &mut hpf_ir::Memory| {
-            for &(v, n) in &arrays {
-                let data: Vec<f64> = (0..n).map(|k| 1.0 + k as f64 * 0.25).collect();
-                m.fill_real(v, &data);
+    // Deterministic non-trivial data in every real array so the
+    // communication paths actually move values. The verify paths share
+    // this init: DGEFA-style data-dependent schedules communicate
+    // differently under different data, so the verifier must replay the
+    // same memory the observed runs used.
+    let arrays: Vec<_> = compiled
+        .spmd
+        .program
+        .vars
+        .arrays()
+        .filter(|(_, info)| info.ty == hpf_ir::ScalarTy::Real)
+        .map(|(v, info)| (v, info.shape().unwrap().len() as usize))
+        .collect();
+    let init = |m: &mut hpf_ir::Memory| {
+        for &(v, n) in &arrays {
+            let data: Vec<f64> = (0..n).map(|k| 1.0 + k as f64 * 0.25).collect();
+            m.fill_real(v, &data);
+        }
+    };
+
+    if verify {
+        let report = compiled.verify(init);
+        print!("{}", compiled.render_diagnostics(&report));
+        if !report.is_clean() {
+            eprintln!(
+                "phpfc: verification FAILED with {} error(s)",
+                report.error_count()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = &verify_trace_path {
+        let json = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("phpfc: cannot read {}: {}", path, e);
+                return ExitCode::FAILURE;
             }
         };
+        let recorded = match hpf_obs::parse_chrome_json(&json) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("phpfc: cannot parse {}: {}", path, e);
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = compiled.verify_trace(&recorded, init);
+        print!("{}", compiled.render_diagnostics(&report));
+        if report.is_clean() {
+            println!(
+                "verify-trace: {} is a linearization of the static happens-before relation",
+                path
+            );
+        } else {
+            eprintln!(
+                "phpfc: trace verification FAILED with {} error(s)",
+                report.error_count()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if observe {
         // Reference executor, or a real message-passing replay validated
         // against it.
         let mut trace_out: Option<hpf_obs::Trace> = None;

@@ -183,6 +183,31 @@ impl Compiled {
         let cost = self.estimate();
         hpf_spmd::cross_check(&self.spmd, &cost, &metrics)
     }
+
+    /// Run the static verifier (`hpf-verify`) on the lowered program:
+    /// privatization soundness, schedule matching / deadlock-freedom /
+    /// epoch-cut closure, and happens-before race detection. `init` must
+    /// reproduce the intended initial memory — a data-dependent schedule
+    /// (DGEFA's pivoting) communicates differently under different data.
+    pub fn verify(&self, init: impl Fn(&mut hpf_ir::Memory)) -> hpf_verify::VerifyReport {
+        hpf_verify::verify_execution(&self.spmd, init)
+    }
+
+    /// Cross-validate a recorded observability trace (`--trace` output,
+    /// parsed back with [`hpf_obs::parse_chrome_json`]) against the
+    /// program's static happens-before relation.
+    pub fn verify_trace(
+        &self,
+        recorded: &hpf_obs::Trace,
+        init: impl Fn(&mut hpf_ir::Memory),
+    ) -> hpf_verify::VerifyReport {
+        hpf_verify::verify_recorded_trace(&self.spmd, recorded, init)
+    }
+
+    /// Render a verification report rustc-style for terminal output.
+    pub fn render_diagnostics(&self, report: &hpf_verify::VerifyReport) -> String {
+        report::render_diagnostics(&self.spmd.program, report)
+    }
 }
 
 /// Compile an already-built program.

@@ -195,6 +195,46 @@ pub fn render(c: &Compiled) -> String {
     out
 }
 
+/// Render a verifier report rustc-style: one `error[CODE]:` /
+/// `warning[CODE]:` block per diagnostic, the offending statement as a
+/// `-->` source line when the finding is anchored to one, witnesses as
+/// `= note:` lines, and a final verdict summary.
+pub fn render_diagnostics(p: &hpf_ir::Program, report: &hpf_verify::VerifyReport) -> String {
+    use hpf_verify::Severity;
+    let mut out = String::new();
+    for d in &report.diags {
+        let head = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let _ = writeln!(out, "{}[{}]: {}", head, d.code, d.message);
+        if let Some(s) = d.stmt {
+            let _ = writeln!(
+                out,
+                "  --> stmt {}: `{}`",
+                s.0,
+                hpf_verify::render::stmt_text(p, s)
+            );
+        }
+        for n in &d.notes {
+            let _ = writeln!(out, "   = note: {}", n);
+        }
+    }
+    let v = report.verdict();
+    let bit = |ok: bool| if ok { "ok" } else { "FAILED" };
+    let warnings = report.diags.len() - report.error_count();
+    let _ = writeln!(
+        out,
+        "verify: privatization {}, schedule {}, races {} ({} error(s), {} warning(s))",
+        bit(v.privatization),
+        bit(v.schedule),
+        bit(v.races),
+        report.error_count(),
+        warnings
+    );
+    out
+}
+
 /// Render observed wire traffic from an execution next to the placed
 /// communication schedule (the instrumented counterpart of [`render`]'s
 /// schedule section).
@@ -246,6 +286,31 @@ pub fn render_observed(c: &Compiled, metrics: &hpf_spmd::CommMetrics) -> String 
 #[cfg(test)]
 mod tests {
     use crate::{compile_source, Options};
+
+    #[test]
+    fn verify_clean_and_render() {
+        let src = r#"
+!HPF$ PROCESSORS P(4)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+!HPF$ ALIGN (i) WITH A(i) :: B
+REAL A(16), B(16)
+INTEGER i
+REAL x
+DO i = 1, 16
+  x = B(i) * 2.0
+  A(i) = x
+END DO
+"#;
+        let c = compile_source(src, Options::default()).unwrap();
+        let report = c.verify(|_| {});
+        assert!(report.is_clean(), "{:#?}", report.diags);
+        let text = c.render_diagnostics(&report);
+        assert!(
+            text.contains("verify: privatization ok, schedule ok, races ok"),
+            "{}",
+            text
+        );
+    }
 
     #[test]
     fn report_mentions_schedule_sections() {

@@ -29,7 +29,10 @@
 //! a compact run-length-coalesced text timeline.
 
 pub mod chrome;
+pub mod parse;
 pub mod text;
+
+pub use parse::parse_chrome_json;
 
 use std::collections::BTreeMap;
 use std::time::Instant;

@@ -119,7 +119,7 @@ pub fn cross_check(
         let check = OpCheck {
             op_index: i,
             pattern: op.pattern.name(),
-            hoisted: op.level < op.stmt_level,
+            hoisted: op.hoisted(),
             predicted_messages: c.messages,
             observed_messages: m.messages,
         };

@@ -287,12 +287,7 @@ impl<'s> SpmdExec<'s> {
     fn fetch(&mut self, op: Option<usize>, src: usize, dst: usize, slot: Slot, bytes: u64) {
         self.stats.messages += 1;
         self.stats.bytes += bytes;
-        let hoisted = op
-            .map(|i| {
-                let c = &self.sp.comms[i];
-                c.level < c.stmt_level
-            })
-            .unwrap_or(false);
+        let hoisted = op.map(|i| self.sp.comms[i].hoisted()).unwrap_or(false);
         if self.vectorize && hoisted {
             let i = op.unwrap();
             let pattern = self.sp.comms[i].pattern.name();

@@ -36,7 +36,8 @@ pub use costsim::{estimate, CostReport};
 pub use crosscheck::{cross_check, CrossCheck, OpCheck};
 pub use exec::{validate_against_sequential, ExecStats, SpmdExec};
 pub use guard::Guard;
-pub use lower::{lower, CommData, CommOp, ReduceOp, SpmdProgram};
+pub use exec::{Event, Slot, Trace};
+pub use lower::{lower, CommData, CommOp, ReduceOp, Schedule, ScheduleOp, SpmdProgram};
 pub use metrics::{CommMetrics, RecoveryCounters};
 pub use runtime::{
     check_owner_slots, replay, replay_rank, replay_rank_segment, replay_rank_traced,

@@ -53,6 +53,20 @@ pub struct CommOp {
     pub merged: Vec<(StmtId, CommData)>,
 }
 
+impl CommOp {
+    /// Placed below its statement's nesting level — the fetches of one
+    /// hoisted execution coalesce into a vectorized message.
+    pub fn hoisted(&self) -> bool {
+        self.level < self.stmt_level
+    }
+
+    /// Placed inside a loop at the statement's own level: the expensive,
+    /// per-iteration kind the paper's alignment selection tries to avoid.
+    pub fn is_inner_loop(&self) -> bool {
+        self.level == self.stmt_level && self.stmt_level > 0
+    }
+}
+
 /// A reduction combine attached to a loop exit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReduceOp {
@@ -61,6 +75,70 @@ pub struct ReduceOp {
     pub loc: Option<VarId>,
     pub reduce_dims: Vec<usize>,
     pub op: hpf_analysis::RedOp,
+}
+
+/// One entry of a [`Schedule`]: the placement facts of a communication
+/// operation, without the cost-model internals of [`CommOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOp {
+    /// Index into `SpmdProgram::comms` (stable across the summary).
+    pub index: usize,
+    pub stmt: StmtId,
+    pub data: CommData,
+    pub pattern: CommPattern,
+    /// Loop level the operation is placed at (0 = outside all loops).
+    pub level: usize,
+    /// Nesting level of the reading statement.
+    pub stmt_level: usize,
+    pub elem_bytes: usize,
+    /// Wire messages one execution of the operation sends, when bounded.
+    pub pairs_per_exec: Option<usize>,
+    /// (stmt, data) pairs folded into this operation by merging.
+    pub merged: Vec<(StmtId, CommData)>,
+}
+
+impl ScheduleOp {
+    /// Placed below its statement's nesting level (vectorized)?
+    pub fn hoisted(&self) -> bool {
+        self.level < self.stmt_level
+    }
+
+    /// Placed inside a loop at the statement's own level?
+    pub fn is_inner_loop(&self) -> bool {
+        self.level == self.stmt_level && self.stmt_level > 0
+    }
+}
+
+/// Stable summary of the lowered communication plan: one entry per placed
+/// operation plus the reduction combines. Unlike the executor's trace, a
+/// `Schedule` is available without running the program; all loop-level
+/// bookkeeping (hoisted vs. inner-loop placement) lives here so lowering,
+/// the cross-check and the verifier agree on one definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    pub ops: Vec<ScheduleOp>,
+    pub reduces: Vec<ReduceOp>,
+}
+
+impl Schedule {
+    /// Count of operations placed inside loops at statement level.
+    pub fn inner_loop_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_inner_loop()).count()
+    }
+
+    /// Count of hoisted (vectorized) operations.
+    pub fn hoisted_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.hoisted()).count()
+    }
+
+    /// The operation satisfying a fetch of `data` issued by `stmt`,
+    /// looking through merges.
+    pub fn op_for(&self, stmt: StmtId, data: &CommData) -> Option<&ScheduleOp> {
+        self.ops.iter().find(|o| {
+            (o.stmt == stmt && &o.data == data)
+                || o.merged.iter().any(|(s, d)| *s == stmt && d == data)
+        })
+    }
 }
 
 /// The lowered SPMD program.
@@ -92,10 +170,32 @@ impl SpmdProgram {
     /// Total count of communication operations placed inside loops at
     /// their statement level (the expensive, non-vectorized kind).
     pub fn inner_loop_comms(&self) -> usize {
-        self.comms
-            .iter()
-            .filter(|c| c.level == c.stmt_level && c.stmt_level > 0)
-            .count()
+        self.schedule().inner_loop_count()
+    }
+
+    /// Summarize the lowered communication plan as a [`Schedule`] — the
+    /// stable, execution-free view consumed by the cost cross-check and
+    /// the static verifier.
+    pub fn schedule(&self) -> Schedule {
+        Schedule {
+            ops: self
+                .comms
+                .iter()
+                .enumerate()
+                .map(|(index, c)| ScheduleOp {
+                    index,
+                    stmt: c.stmt,
+                    data: c.data.clone(),
+                    pattern: c.pattern,
+                    level: c.level,
+                    stmt_level: c.stmt_level,
+                    elem_bytes: c.elem_bytes,
+                    pairs_per_exec: c.pairs_per_exec,
+                    merged: c.merged.clone(),
+                })
+                .collect(),
+            reduces: self.reduces.clone(),
+        }
     }
 
     /// Index into `comms` of the operation satisfying a fetch of `data`

@@ -1,0 +1,181 @@
+//! Structured, source-located verifier diagnostics.
+//!
+//! Every check in this crate reports through [`Diagnostic`]: a stable
+//! code (`V…` privatization, `S…` schedule, `R…` races, `T…` trace
+//! linearization), a severity, a one-line message, the offending
+//! statement when there is one, and free-form notes carrying the
+//! witnesses (the reached use, the stuck rank, the racing write).
+//! [`VerifyReport`] aggregates them and folds the codes down to the
+//! three-bit verdict recorded in `BENCH_JSON`.
+
+use hpf_ir::StmtId;
+
+/// How bad a finding is. `Error` findings fail verification; `Warning`
+/// findings (e.g. a subscript too irregular to race-check) do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"V006"`, `"S102"`, `"R201"`, `"T301"`.
+    pub code: &'static str,
+    pub severity: Severity,
+    /// One-line statement of the violation.
+    pub message: String,
+    /// The statement the finding is anchored to, when it has one
+    /// (schedule findings are anchored to epochs/ranks instead).
+    pub stmt: Option<StmtId>,
+    /// Witnesses and secondary locations, one per line in the render.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            stmt: None,
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    pub fn at(mut self, stmt: StmtId) -> Diagnostic {
+        self.stmt = Some(stmt);
+        self
+    }
+
+    pub fn note(mut self, n: impl Into<String>) -> Diagnostic {
+        self.notes.push(n.into());
+        self
+    }
+}
+
+/// The three properties the verifier proves, as pass/fail bits. A
+/// property that was not checked (e.g. races when the schedule already
+/// deadlocked) reports the failure of the property that blocked it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyVerdict {
+    pub privatization: bool,
+    pub schedule: bool,
+    pub races: bool,
+}
+
+impl VerifyVerdict {
+    pub fn all_ok(&self) -> bool {
+        self.privatization && self.schedule && self.races
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"privatization\":{},\"schedule\":{},\"races\":{}}}",
+            self.privatization, self.schedule, self.races
+        )
+    }
+}
+
+/// Aggregated output of one verifier run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    pub diags: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    pub fn extend(&mut self, ds: Vec<Diagnostic>) {
+        self.diags.extend(ds);
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// True when some error diagnostic carries the given code.
+    pub fn has(&self, code: &str) -> bool {
+        self.errors().any(|d| d.code == code)
+    }
+
+    /// Fold the error codes down to the per-property verdict: `V…` is
+    /// privatization, `S…` the schedule, `R…`/`T…` the race/ordering
+    /// property (a trace that is not a linearization of the static HB
+    /// relation is an ordering violation, so `T…` lands there too).
+    pub fn verdict(&self) -> VerifyVerdict {
+        let mut v = VerifyVerdict {
+            privatization: true,
+            schedule: true,
+            races: true,
+        };
+        for d in self.errors() {
+            match d.code.as_bytes()[0] {
+                b'V' => v.privatization = false,
+                b'S' => v.schedule = false,
+                b'R' | b'T' => v.races = false,
+                _ => {
+                    v.privatization = false;
+                    v.schedule = false;
+                    v.races = false;
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_folds_codes_to_properties() {
+        let mut r = VerifyReport::default();
+        assert!(r.is_clean());
+        assert!(r.verdict().all_ok());
+        r.push(Diagnostic::error("S102", "deadlock"));
+        r.push(Diagnostic::warning("R200", "unverifiable subscript"));
+        let v = r.verdict();
+        assert!(v.privatization);
+        assert!(!v.schedule);
+        assert!(v.races, "warnings do not fail a property");
+        r.push(Diagnostic::error("T301", "not a linearization"));
+        assert!(!r.verdict().races);
+        assert!(r.has("S102"));
+        assert!(!r.has("R200"));
+    }
+
+    #[test]
+    fn verdict_json_shape() {
+        let v = VerifyVerdict {
+            privatization: true,
+            schedule: false,
+            races: true,
+        };
+        assert_eq!(
+            v.to_json(),
+            "{\"privatization\":true,\"schedule\":false,\"races\":true}"
+        );
+    }
+}

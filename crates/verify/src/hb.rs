@@ -1,0 +1,216 @@
+//! Static happens-before race detection over the lowered schedule.
+//!
+//! The executed CSP ([`crate::csp::simulate`]) yields a causal order:
+//! program order per rank plus one edge per matched message. Vector
+//! clocks computed along that order give the full happens-before
+//! relation of the schedule; two writes to the same owned element from
+//! different ranks with incomparable clocks are a data race the
+//! owner-computes discipline should have made impossible (**R201**).
+//!
+//! Writes whose subscripts the induction analysis cannot reduce to an
+//! affine form over the iteration environment (a data-dependent pivot
+//! row, say) cannot be attributed to an element statically; they are
+//! skipped with an **R200** warning naming the statement, so a clean
+//! verdict states exactly what was proved.
+
+use std::collections::{HashMap, HashSet};
+
+use hpf_analysis::Analysis;
+use hpf_ir::{LValue, Stmt, StmtId, VarId};
+use hpf_spmd::{Event, SpmdProgram, Trace};
+
+use crate::csp::Sim;
+use crate::diag::Diagnostic;
+use crate::render::stmt_text;
+
+const MAX_RACES: usize = 5;
+
+fn leq(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+fn join(into: &mut [u64], other: &[u64]) {
+    for (x, y) in into.iter_mut().zip(other) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// One attributed write: who, where in the trace, and its clock.
+struct Write {
+    rank: usize,
+    event: usize,
+    stmt: StmtId,
+    clock: Vec<u64>,
+}
+
+/// Check that every pair of cross-rank writes to the same owned element
+/// is ordered by the schedule's happens-before relation.
+pub fn check_races(
+    sp: &SpmdProgram,
+    a: &Analysis<'_>,
+    trace: &Trace,
+    sim: &Sim,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if sim.deadlock.is_some() {
+        // The schedule never completes; ordering is meaningless and the
+        // deadlock is already reported as S102.
+        return out;
+    }
+    let p = &sp.program;
+    let n = trace.len();
+
+    let mut senders: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for pr in &sim.pairs {
+        senders.entry(pr.recv).or_default().push(pr.send);
+    }
+
+    let mut vc: Vec<Vec<u64>> = vec![vec![0; n]; n];
+    let mut send_snap: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+    let mut writes: HashMap<(VarId, usize), Vec<Write>> = HashMap::new();
+    let mut unattributed: HashSet<StmtId> = HashSet::new();
+
+    for &(r, i) in &sim.order {
+        vc[r][r] += 1;
+        match &trace[r][i] {
+            Event::Send { .. } | Event::SendVec { .. } => {
+                send_snap.insert((r, i), vc[r].clone());
+            }
+            Event::Recv { .. } | Event::RecvVec { .. } | Event::RecvPartial { .. } => {
+                if let Some(ss) = senders.get(&(r, i)) {
+                    for s in ss {
+                        let snap = send_snap
+                            .get(s)
+                            .expect("retirement order respects causality")
+                            .clone();
+                        join(&mut vc[r], &snap);
+                    }
+                }
+            }
+            Event::Exec { stmt, env } => {
+                if let Some((v, off)) = attribute_write(sp, a, *stmt, env, &mut unattributed) {
+                    writes.entry((v, off)).or_default().push(Write {
+                        rank: r,
+                        event: i,
+                        stmt: *stmt,
+                        clock: vc[r].clone(),
+                    });
+                }
+            }
+            Event::CondExec { .. } | Event::Combine { .. } => {}
+        }
+    }
+
+    let mut stmts: Vec<StmtId> = unattributed.into_iter().collect();
+    stmts.sort_by_key(|s| s.0);
+    for s in stmts {
+        out.push(
+            Diagnostic::warning(
+                "R200",
+                format!(
+                    "write at stmt {} `{}` has a data-dependent subscript; its elements \
+                     cannot be attributed statically and are excluded from the race check",
+                    s.0,
+                    stmt_text(p, s)
+                ),
+            )
+            .at(s),
+        );
+    }
+
+    let mut locations: Vec<&(VarId, usize)> = writes.keys().collect();
+    locations.sort();
+    let mut races = 0usize;
+    for loc in locations {
+        let ws = &writes[loc];
+        'pairs: for (x, w1) in ws.iter().enumerate() {
+            for w2 in &ws[x + 1..] {
+                if w1.rank == w2.rank {
+                    continue;
+                }
+                if !leq(&w1.clock, &w2.clock) && !leq(&w2.clock, &w1.clock) {
+                    races += 1;
+                    if races <= MAX_RACES {
+                        let (v, off) = *loc;
+                        let elem = match p.vars.info(v).shape() {
+                            Some(shape) => {
+                                let idx: Vec<String> = shape
+                                    .delinearize(off)
+                                    .iter()
+                                    .map(|i| i.to_string())
+                                    .collect();
+                                format!("{}({})", p.vars.name(v), idx.join(","))
+                            }
+                            None => format!("{}[{}]", p.vars.name(v), off),
+                        };
+                        out.push(
+                            Diagnostic::error(
+                                "R201",
+                                format!(
+                                    "unordered concurrent writes to {}: rank {} (event {}, \
+                                     stmt {}) and rank {} (event {}, stmt {}) have no \
+                                     happens-before edge",
+                                    elem, w1.rank, w1.event, w1.stmt.0, w2.rank, w2.event,
+                                    w2.stmt.0
+                                ),
+                            )
+                            .at(w1.stmt)
+                            .note(format!("first write: `{}`", stmt_text(p, w1.stmt)))
+                            .note(format!("second write: `{}`", stmt_text(p, w2.stmt))),
+                        );
+                    }
+                    break 'pairs; // one witness per element
+                }
+            }
+        }
+    }
+    if races > MAX_RACES {
+        out.push(Diagnostic::error(
+            "R201",
+            format!("... and {} more unordered write pairs", races - MAX_RACES),
+        ));
+    }
+    out
+}
+
+/// Attribute an executed assignment to an owned array element, when the
+/// write targets distributed (non-private) data and its subscripts are
+/// affine over the recorded iteration environment.
+fn attribute_write(
+    sp: &SpmdProgram,
+    a: &Analysis<'_>,
+    stmt: StmtId,
+    env: &[(VarId, i64)],
+    unattributed: &mut HashSet<StmtId>,
+) -> Option<(VarId, usize)> {
+    let p = &sp.program;
+    let Stmt::Assign {
+        lhs: LValue::Array(r),
+        ..
+    } = p.stmt(stmt)
+    else {
+        return None;
+    };
+    let m = sp.maps.of(r.array);
+    if m.is_fully_replicated() || !m.private_dims().is_empty() {
+        // Replicated copies are written everywhere by design; privatized
+        // dimensions give each rank its own copy. Neither can race.
+        return None;
+    }
+    let shape = p.vars.info(r.array).shape()?;
+    let mut idx = Vec::with_capacity(r.subs.len());
+    for sub in &r.subs {
+        let aff = a.induction.affine_view(p, &a.cfg, &a.dom, stmt, sub);
+        let val = aff.and_then(|af| {
+            af.eval(&|v| env.iter().find(|(w, _)| *w == v).map(|(_, x)| *x))
+        });
+        match val {
+            Some(x) => idx.push(x),
+            None => {
+                unattributed.insert(stmt);
+                return None;
+            }
+        }
+    }
+    Some((r.array, shape.linearize(&idx)))
+}

@@ -1,0 +1,61 @@
+//! One-line statement rendering for diagnostics.
+//!
+//! `hpf_ir::pretty::print_stmt` prints whole subtrees (a DO prints its
+//! body); diagnostics want a single line identifying the statement, so
+//! this renders just the statement's own header.
+
+use hpf_ir::{pretty, LValue, Program, Stmt, StmtId};
+
+/// Render the statement's own line (no body) for use in diagnostics.
+pub fn stmt_text(p: &Program, s: StmtId) -> String {
+    match p.stmt(s) {
+        Stmt::Assign { lhs, rhs } => {
+            let l = match lhs {
+                LValue::Scalar(v) => p.vars.name(*v).to_string(),
+                LValue::Array(r) => {
+                    let subs: Vec<String> =
+                        r.subs.iter().map(|e| pretty::print_expr(p, e)).collect();
+                    format!("{}({})", p.vars.name(r.array), subs.join(","))
+                }
+            };
+            format!("{} = {}", l, pretty::print_expr(p, rhs))
+        }
+        Stmt::Do {
+            var, lo, hi, step, ..
+        } => {
+            let mut out = format!(
+                "DO {} = {}, {}",
+                p.vars.name(*var),
+                pretty::print_expr(p, lo),
+                pretty::print_expr(p, hi)
+            );
+            if step.as_int() != Some(1) {
+                out.push_str(&format!(", {}", pretty::print_expr(p, step)));
+            }
+            out
+        }
+        Stmt::If { cond, .. } => format!("IF ({}) THEN", pretty::print_expr(p, cond)),
+        Stmt::Goto(l) => format!("GOTO {}", l.0),
+        Stmt::Continue => "CONTINUE".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::parse_program;
+
+    #[test]
+    fn renders_single_lines() {
+        let p = parse_program(
+            "REAL A(10)\nINTEGER i\nDO i = 1, 10\n  A(i) = A(i) + 1.0\nEND DO\n",
+        )
+        .unwrap();
+        let texts: Vec<String> = p.preorder().iter().map(|&s| stmt_text(&p, s)).collect();
+        assert!(texts.iter().any(|t| t.starts_with("DO i = 1, 10")));
+        assert!(texts.iter().any(|t| t.contains("a(i) =")));
+        for t in &texts {
+            assert!(!t.contains('\n'), "one line per statement: {:?}", t);
+        }
+    }
+}

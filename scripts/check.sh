@@ -12,7 +12,47 @@ cargo test -q --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
-echo "==> bench binaries emit BENCH_JSON (with a backend name)"
+echo "==> cargo clippy -p hpf-verify -D warnings (verifier must stay lint-clean)"
+cargo clippy -p hpf-verify --all-targets -q -- -D warnings
+
+echo "==> static verification (phpfc --verify on the three paper kernels)"
+for example in tomcatv_small dgefa_small appsp_small; do
+    set +e
+    out=$(./target/release/phpfc "examples/hpf/$example.hpf" --verify 2>&1)
+    status=$?
+    set -e
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL: phpfc --verify rejected $example" >&2
+        echo "$out" >&2
+        exit "$status"
+    fi
+    echo "$out" | grep -q 'verify: privatization ok, schedule ok, races ok' || {
+        echo "FAIL: $example --verify printed no clean verdict line" >&2
+        echo "$out" >&2
+        exit 1
+    }
+done
+
+echo "==> trace cross-validation (golden trace through --verify-trace)"
+goldtrace=$(mktemp -t phpfc-golden.XXXXXX)
+trap 'rm -f "$goldtrace"' EXIT
+./target/release/phpfc examples/hpf/tomcatv_small.hpf --trace "$goldtrace" >/dev/null
+set +e
+out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --verify-trace "$goldtrace" 2>&1)
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: --verify-trace rejected the golden trace it just recorded" >&2
+    echo "$out" >&2
+    exit "$status"
+fi
+echo "$out" | grep -q 'linearization of the static happens-before relation' || {
+    echo "FAIL: --verify-trace printed no linearization verdict" >&2
+    echo "$out" >&2
+    exit 1
+}
+
+echo "==> bench binaries emit BENCH_JSON (with a backend name and verification verdict)"
 for bin in table1 table2 table3; do
     out=$(cargo run -q --release -p phpf-bench --bin "$bin")
     echo "$out" | grep -q '^BENCH_JSON {' || {
@@ -21,6 +61,10 @@ for bin in table1 table2 table3; do
     }
     echo "$out" | grep -q '"backend":' || {
         echo "FAIL: $bin BENCH_JSON line names no backend" >&2
+        exit 1
+    }
+    echo "$out" | grep -q '"verified":{"privatization":true,"schedule":true,"races":true}' || {
+        echo "FAIL: $bin BENCH_JSON carries no clean verification verdict" >&2
         exit 1
     }
 done
@@ -52,7 +96,7 @@ echo "$out" | grep -q 'cross-check: observed' || {
 
 echo "==> trace smoke (TOMCATV small, socket backend, --trace)"
 tracefile=$(mktemp -t phpfc-trace.XXXXXX)
-trap 'rm -f "$tracefile"' EXIT
+trap 'rm -f "$goldtrace" "$tracefile"' EXIT
 set +e
 out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --backend socket --trace "$tracefile" 2>&1)
 status=$?
@@ -117,7 +161,7 @@ echo "==> chaos smoke (TOMCATV small, socket backend, injected faults)"
 # checkpointed gang respawn), still validate against the reference, and
 # report its recovery work in both the trace and the BENCH_JSON counters.
 chaostrace=$(mktemp -t phpfc-chaos.XXXXXX)
-trap 'rm -f "$tracefile" "$chaostrace"' EXIT
+trap 'rm -f "$goldtrace" "$tracefile" "$chaostrace"' EXIT
 set +e
 out=$(./target/release/phpfc examples/hpf/tomcatv_small.hpf --backend socket \
     --fault-plan 'corrupt:0>1@2,kill:1@600' --trace "$chaostrace" 2>&1)
@@ -156,4 +200,4 @@ echo "$out" | grep '^BENCH_JSON {' | grep -q '"recovery":{"retransmits":0,"heart
     exit 1
 }
 
-echo "OK: build, tests, lints, bench output, socket smoke, trace smoke and chaos smoke all clean"
+echo "OK: build, tests, lints, verification, bench output, socket smoke, trace smoke and chaos smoke all clean"
